@@ -1,0 +1,59 @@
+"""Shared infrastructure for the figure-reproduction benchmarks.
+
+The heavy simulation sweep powering Figs. 11-14 runs **once** per session
+and is shared by the four figure benchmarks, exactly as in the paper
+(one run yields runtime, idle, and the per-thread breakdowns).
+
+Environment knobs:
+
+* ``REPRO_BENCH_PROFILE`` — "scaled" (default) or "full".
+* ``REPRO_BENCH_REPS`` — repetitions per (bench, policy, config); default 2.
+* ``REPRO_BENCH_CONFIGS`` — comma-separated config names, or "all";
+  default "16_threads_4_nodes,4_threads_4_nodes" (the largest and a small
+  configuration; the paper's remaining configs interpolate between them).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.alloc.policies import Policy
+from repro.experiments.configs import CONFIG_ORDER
+from repro.experiments.report import write_csv
+from repro.experiments.runner import sweep
+from repro.workloads.registry import BENCH_ORDER
+
+PROFILE = os.environ.get("REPRO_BENCH_PROFILE", "scaled")
+REPS = int(os.environ.get("REPRO_BENCH_REPS", "2"))
+_configs_env = os.environ.get(
+    "REPRO_BENCH_CONFIGS", "16_threads_4_nodes,4_threads_4_nodes"
+)
+CONFIGS_TO_RUN = (
+    list(CONFIG_ORDER) if _configs_env == "all" else _configs_env.split(",")
+)
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def main_sweep():
+    """All runs behind Figs. 11-14: benchmarks x policies x configs x reps."""
+    records = sweep(
+        benches=list(BENCH_ORDER),
+        policies=list(Policy),
+        configs=CONFIGS_TO_RUN,
+        reps=REPS,
+        profile=PROFILE,
+    )
+    OUT_DIR.mkdir(exist_ok=True)
+    write_csv(records, str(OUT_DIR / "main_sweep.csv"))
+    return records
+
+
+@pytest.fixture(scope="session")
+def headline_config():
+    """The configuration the paper's headline numbers come from."""
+    return "16_threads_4_nodes"

@@ -1,0 +1,67 @@
+"""Ablation — system aging (fragmented free lists) vs pristine boot (ours).
+
+TintMalloc's colored refill (Algorithm 1/2) amortises beautifully on a
+freshly booted system, where one buddy block stocks many colors at once.
+On an *aged* system whose free lists hold only scattered order-0 frames,
+every colored allocation must scan random frames until one matches the
+task's colors — the worst case for first-touch overhead.
+
+Checks: colored allocations on the aged system pay strictly more refill
+scans per page than on the pristine system, while the buddy baseline is
+unaffected in allocation cost.
+"""
+
+import pytest
+
+from repro.kernel.frame import FramePool
+from repro.kernel.kernel import Kernel
+from repro.kernel.task import TaskStruct
+from repro.machine.presets import opteron_6128_scaled
+from repro.util.units import MIB
+
+N_PAGES = 256
+
+
+def refills_per_page(aged: bool) -> float:
+    kernel = Kernel(opteron_6128_scaled(256 * MIB), aged=aged, age_seed=3)
+    task = TaskStruct(tid=1, core=0)
+    mapping = kernel.mapping
+    for c in list(mapping.bank_colors_of_node(0))[:8]:
+        task.add_mem_color(c)
+    for c in (0, 16):
+        task.add_llc_color(c)
+    outs = [kernel.page_allocator.alloc_pages(task, 0) for _ in range(N_PAGES)]
+    assert all(o is not None for o in outs)
+    return sum(o.refills for o in outs) / N_PAGES
+
+
+def test_aged_system_inflates_colored_refills(benchmark):
+    pristine = refills_per_page(aged=False)
+    aged = refills_per_page(aged=True)
+    print(f"\nrefill scans per colored page: pristine={pristine:.2f} "
+          f"aged={aged:.2f}")
+    assert aged > pristine
+    assert aged > 2.0  # random frames: most scans miss the color set
+    benchmark.pedantic(refills_per_page, args=(True,), rounds=1)
+
+
+def test_aged_buddy_allocation_unaffected(benchmark):
+    """The uncolored path pops the free-list head either way."""
+    for aged in (False, True):
+        kernel = Kernel(opteron_6128_scaled(256 * MIB), aged=aged)
+        task = TaskStruct(tid=1, core=0)
+        outs = [
+            kernel.page_allocator.alloc_pages(task, 0) for _ in range(N_PAGES)
+        ]
+        assert all(o is not None and o.refills == 0 for o in outs)
+    benchmark.pedantic(lambda: None, rounds=1)
+
+def test_aged_colored_pages_still_correct(benchmark):
+    kernel = Kernel(opteron_6128_scaled(256 * MIB), aged=True, age_seed=9)
+    task = TaskStruct(tid=1, core=0)
+    task.add_mem_color(3)
+    for _ in range(64):
+        out = kernel.page_allocator.alloc_pages(task, 0)
+        assert int(kernel.pool.bank_color[out.pfn]) == 3
+    benchmark.pedantic(lambda: None, rounds=1)
+

@@ -1,0 +1,63 @@
+"""Ablation — contribution of each coloring dimension (ours, cf. DESIGN.md).
+
+Decomposes MEM+LLC into its components on the flagship benchmark:
+
+* MEM-only (controller+bank locality/isolation, shared LLC),
+* LLC-only (cache isolation, best-effort locality),
+* both combined,
+
+and checks the design claims: each single dimension already beats buddy,
+and controller awareness is the dominant ingredient (MEM-only recovers
+most of MEM+LLC's gain, which is exactly what separates TintMalloc from
+BPM).
+"""
+
+import pytest
+
+from repro.alloc.policies import Policy
+from repro.experiments.runner import run_benchmark
+
+from conftest import PROFILE
+
+POLICIES = (Policy.BUDDY, Policy.LLC, Policy.MEM, Policy.MEM_LLC)
+
+
+@pytest.fixture(scope="module")
+def component_runs():
+    return {
+        policy: run_benchmark(
+            "lbm", policy, "16_threads_4_nodes", profile=PROFILE
+        )
+        for policy in POLICIES
+    }
+
+
+def test_component_decomposition(component_runs, benchmark):
+    base = component_runs[Policy.BUDDY].runtime
+    norms = {p.label: component_runs[p].runtime / base for p in POLICIES}
+    print()
+    for label, v in norms.items():
+        print(f"  {label:8s} normalized runtime {v:.3f}")
+
+    assert norms[Policy.MEM.label] < 1.0
+    assert norms[Policy.LLC.label] < 1.0
+    assert norms[Policy.MEM_LLC.label] < 1.0
+    # Controller-aware banking recovers most of the combined gain.
+    gain_mem = 1 - norms[Policy.MEM.label]
+    gain_both = 1 - norms[Policy.MEM_LLC.label]
+    assert gain_mem > 0.5 * gain_both
+
+    benchmark.pedantic(lambda: None, rounds=1)
+
+
+def test_isolation_metrics_follow_mechanism(component_runs, benchmark):
+    """Each dimension improves the counter it targets."""
+    buddy = component_runs[Policy.BUDDY]
+    mem = component_runs[Policy.MEM]
+    both = component_runs[Policy.MEM_LLC]
+    print(f"\nrow-buffer hit rate: buddy={buddy.row_hit_rate:.2f} "
+          f"mem={mem.row_hit_rate:.2f} mem+llc={both.row_hit_rate:.2f}")
+    assert mem.row_hit_rate > buddy.row_hit_rate
+    assert both.row_hit_rate > buddy.row_hit_rate
+    benchmark.pedantic(lambda: None, rounds=1)
+

@@ -1,0 +1,71 @@
+"""Ablation — huge pages bypass TintMalloc entirely (paper §III-C).
+
+The paper restricts coloring to order-0 (4 KiB) allocations and notes
+that its applications never used huge pages.  This ablation shows why the
+restriction matters: when a workload's heap is backed by 2 MiB pages, a
+"colored" team runs just like buddy — the isolation evaporates, because a
+2 MiB block necessarily spans many bank and LLC colors.
+"""
+
+import numpy as np
+import pytest
+
+from repro.alloc.policies import Policy
+from repro.core.session import ColoredTeam
+from repro.core.tintmalloc import TintMalloc
+from repro.kernel.kernel import Kernel
+from repro.machine.presets import opteron_6128_scaled
+from repro.sim.barrier import Program, Section
+from repro.sim.engine import Engine, MemorySystem
+from repro.sim.trace import Trace
+from repro.util.units import GIB, MIB
+
+
+def run(policy: Policy, huge: bool) -> float:
+    machine = opteron_6128_scaled(1 * GIB)
+    kernel = Kernel(machine)
+    tm = TintMalloc(kernel=kernel)
+    team = ColoredTeam.create(tm, cores=list(range(16)), policy=policy)
+    memory = MemorySystem.for_machine(machine)
+    line = machine.mapping.line_bytes
+    nbytes = 2 * MIB  # one huge page per thread
+    traces = {}
+    for i, handle in enumerate(team.handles):
+        base = handle.malloc(nbytes, huge=huge)
+        n = nbytes // line
+        traces[i] = Trace(
+            vaddrs=base + np.arange(n, dtype=np.int64) * line,
+            writes=np.ones(n, dtype=bool),
+            think_ns=2.0,
+        )
+    program = Program([Section("parallel", traces)], nthreads=16)
+    return Engine(team, memory).run(program).runtime
+
+
+def test_huge_pages_neutralise_coloring(benchmark):
+    base_4k = run(Policy.BUDDY, huge=False)
+    colored_4k = run(Policy.MEM_LLC, huge=False)
+    base_2m = run(Policy.BUDDY, huge=True)
+    colored_2m = run(Policy.MEM_LLC, huge=True)
+
+    gain_4k = 1 - colored_4k / base_4k
+    gain_2m = 1 - colored_2m / base_2m
+    print(f"\ncoloring gain with 4 KiB pages: {gain_4k:6.1%}")
+    print(f"coloring gain with 2 MiB pages: {gain_2m:6.1%}")
+
+    assert gain_4k > 0.10  # coloring works on base pages
+    assert abs(gain_2m) < 0.05  # ...and does nothing on huge pages
+    benchmark.pedantic(lambda: None, rounds=1)
+
+
+def test_huge_pages_are_row_buffer_friendly(benchmark):
+    """Huge pages aren't useless — their physically contiguous blocks give
+    even the buddy baseline long same-row runs (context for why real
+    systems like them despite the coloring conflict)."""
+    base_4k = run(Policy.BUDDY, huge=False)
+    base_2m = run(Policy.BUDDY, huge=True)
+    print(f"\nbuddy runtime: 4 KiB pages {base_4k/1e6:.3f}ms, "
+          f"2 MiB pages {base_2m/1e6:.3f}ms")
+    assert base_2m < base_4k * 1.05
+    benchmark.pedantic(lambda: None, rounds=1)
+

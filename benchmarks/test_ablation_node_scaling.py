@@ -1,0 +1,101 @@
+"""Ablation — controller awareness as the machine grows (ours).
+
+The paper's thesis is that coloring must be *controller-aware*: BPM-style
+bank partitioning without locality pays remote penalties.  Extrapolating
+to a four-socket, eight-controller machine (``opteron_4s``):
+
+* BPM's *remote exposure* grows with the node count (a random placement
+  over N nodes is remote with probability ~(N-1)/N, and ever more of it
+  crosses the slow socket boundary);
+* its runtime penalty over TintMalloc's MEM+LLC stays large (>1.5x) at
+  both scales — the extra bank/controller parallelism of the bigger
+  machine partially offsets the longer distances, but never recovers
+  locality;
+* MEM+LLC's remote fraction stays near zero regardless of machine size.
+"""
+
+import numpy as np
+import pytest
+
+from repro.alloc.policies import Policy
+from repro.core.session import ColoredTeam
+from repro.core.tintmalloc import TintMalloc
+from repro.kernel.kernel import Kernel
+from repro.machine.presets import MachineSpec, opteron_4s, opteron_6128_scaled
+from repro.sim.barrier import Program, Section
+from repro.sim.engine import Engine, MemorySystem
+from repro.sim.trace import Trace
+from repro.util.units import GIB, MIB
+
+
+def run(machine: MachineSpec, policy: Policy):
+    kernel = Kernel(machine)
+    tm = TintMalloc(kernel=kernel)
+    # One thread per node's first core: equal thread count on both
+    # machines is NOT the point — equal per-node pressure is.
+    cores = [node * machine.topology.cores_per_node
+             for node in range(machine.topology.num_nodes)]
+    cores += [c + 1 for c in cores]  # two threads per node
+    team = ColoredTeam.create(tm, cores, policy)
+    memory = MemorySystem.for_machine(machine)
+    line = machine.mapping.line_bytes
+    nbytes = MIB // 2
+    n = nbytes // line
+    traces = {}
+    for i, handle in enumerate(team.handles):
+        base = handle.malloc(nbytes)
+        traces[i] = Trace(
+            vaddrs=base + np.arange(n, dtype=np.int64) * line,
+            writes=np.ones(n, dtype=bool),
+            think_ns=2.0,
+        )
+    program = Program(
+        [Section("parallel", traces)], nthreads=len(cores)
+    )
+    metrics = Engine(team, memory).run(program)
+    return metrics, memory.dram.stats
+
+
+@pytest.fixture(scope="module")
+def machines():
+    return {
+        4: opteron_6128_scaled(1 * GIB),
+        8: opteron_4s(2 * GIB),
+    }
+
+
+def test_bpm_remote_exposure_grows_with_node_count(machines, benchmark):
+    penalties = {}
+    remotes = {}
+    for nodes, machine in machines.items():
+        bpm, bpm_stats = run(machine, Policy.BPM)
+        tint, tint_stats = run(machine, Policy.MEM_LLC)
+        penalties[nodes] = bpm.runtime / tint.runtime
+        remotes[nodes] = (bpm_stats.remote_fraction,
+                          tint_stats.remote_fraction)
+    print()
+    for nodes in machines:
+        bpm_r, tint_r = remotes[nodes]
+        print(f"  {nodes} controllers: BPM/TintMalloc runtime "
+              f"{penalties[nodes]:.2f}x (remote: bpm {bpm_r:.0%}, "
+              f"tint {tint_r:.0%})")
+    # Exposure grows with node count; the penalty stays large throughout.
+    assert remotes[8][0] > remotes[4][0]
+    assert penalties[4] > 1.5 and penalties[8] > 1.5
+    benchmark.pedantic(lambda: None, rounds=1)
+
+
+def test_tintmalloc_locality_is_node_count_invariant(machines, benchmark):
+    for nodes, machine in machines.items():
+        _, stats = run(machine, Policy.MEM_LLC)
+        assert stats.remote_fraction < 0.05, nodes
+    benchmark.pedantic(lambda: None, rounds=1)
+
+
+def test_bpm_remote_fraction_tracks_topology(machines, benchmark):
+    """Random placement over N nodes is remote with probability ~(N-1)/N."""
+    for nodes, machine in machines.items():
+        _, stats = run(machine, Policy.BPM)
+        expected = (nodes - 1) / nodes
+        assert stats.remote_fraction == pytest.approx(expected, abs=0.15)
+    benchmark.pedantic(lambda: None, rounds=1)

@@ -1,0 +1,73 @@
+"""Ablation — where does coloring help? (parameter sensitivity, ours).
+
+Sweeps the two workload knobs the paper's §V-B discussion identifies as
+the benefit conditions — memory intensity (think time) and write share —
+on the synthetic-style streaming workload, and verifies:
+
+* the colored-vs-buddy gain shrinks monotonically-ish as the workload
+  becomes compute-bound (think time grows);
+* write-heavy streams benefit at least as much as read-only ones (writes
+  add write-recovery occupancy and write-back traffic to shared banks).
+"""
+
+import numpy as np
+import pytest
+
+from repro.alloc.policies import Policy
+from repro.core.session import ColoredTeam
+from repro.core.tintmalloc import TintMalloc
+from repro.kernel.kernel import Kernel
+from repro.machine.presets import opteron_6128_scaled
+from repro.sim.barrier import Program, Section
+from repro.sim.engine import Engine, MemorySystem
+from repro.sim.trace import Trace
+from repro.util.units import GIB, MIB
+
+
+def run(policy: Policy, think_ns: float, write_fraction: float) -> float:
+    machine = opteron_6128_scaled(1 * GIB)
+    kernel = Kernel(machine)
+    tm = TintMalloc(kernel=kernel)
+    team = ColoredTeam.create(tm, cores=list(range(16)), policy=policy)
+    memory = MemorySystem.for_machine(machine)
+    line = machine.mapping.line_bytes
+    nbytes = MIB // 2
+    n = nbytes // line
+    rng = np.random.default_rng(7)
+    traces = {}
+    for i, handle in enumerate(team.handles):
+        base = handle.malloc(nbytes)
+        traces[i] = Trace(
+            vaddrs=base + np.arange(n, dtype=np.int64) * line,
+            writes=rng.random(n) < write_fraction,
+            think_ns=think_ns,
+        )
+    program = Program([Section("parallel", traces)], nthreads=16)
+    return Engine(team, memory).run(program).runtime
+
+
+def gain(think_ns: float, write_fraction: float) -> float:
+    buddy = run(Policy.BUDDY, think_ns, write_fraction)
+    colored = run(Policy.MEM_LLC, think_ns, write_fraction)
+    return 1 - colored / buddy
+
+
+def test_gain_shrinks_as_compute_bound(benchmark):
+    thinks = (2.0, 40.0, 300.0)
+    gains = {t: gain(t, 0.5) for t in thinks}
+    print()
+    for t, g in gains.items():
+        print(f"  think {t:6.0f} ns -> coloring gain {g:6.1%}")
+    assert gains[2.0] > gains[300.0]
+    assert gains[300.0] < 0.15  # compute-bound: little left to win
+    benchmark.pedantic(lambda: None, rounds=1)
+
+
+def test_writes_amplify_interference(benchmark):
+    read_gain = gain(2.0, 0.0)
+    write_gain = gain(2.0, 1.0)
+    print(f"\n  read-only gain {read_gain:6.1%}, write-heavy gain "
+          f"{write_gain:6.1%}")
+    assert write_gain > 0.05
+    assert write_gain >= read_gain - 0.05
+    benchmark.pedantic(lambda: None, rounds=1)

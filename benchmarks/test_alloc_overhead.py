@@ -1,0 +1,105 @@
+"""§III-C — colored allocation overhead.
+
+Paper: "the overhead of colored allocations is higher for the first heap
+requests as the kernel traverses the general buddy free list.  This higher
+cost typically impacts only the initialization phase...  Once the colored
+free list has been populated with pages, the overhead becomes constant."
+
+Benchmarked here directly against the allocator (no trace simulation):
+
+* cold colored allocations pull buddy blocks into the color lists
+  (positive refill counts);
+* warm colored allocations (after free) refill nothing;
+* the steady-state colored path costs the same order of magnitude as the
+  plain buddy path.
+"""
+
+import pytest
+
+from repro.kernel.frame import FramePool
+from repro.kernel.pagealloc import PageAllocator
+from repro.kernel.task import TaskStruct
+from repro.machine.presets import opteron_6128_scaled
+from repro.util.units import GIB
+
+
+def make_allocator():
+    spec = opteron_6128_scaled(1 * GIB)
+    return spec, PageAllocator(FramePool(spec.mapping), spec.topology)
+
+
+def colored_task(spec, tid=1):
+    mapping = spec.mapping
+    task = TaskStruct(tid=tid, core=0)
+    for c in list(mapping.bank_colors_of_node(0))[:8]:
+        task.add_mem_color(c)
+    for c in (0, 16):
+        task.add_llc_color(c)
+    return task
+
+
+N_PAGES = 256
+
+
+def test_first_allocations_pay_refills(benchmark):
+    spec, alloc = make_allocator()
+    task = colored_task(spec)
+    outs = [alloc.alloc_pages(task, 0) for _ in range(N_PAGES)]
+    cold_refills = sum(o.refills for o in outs[: N_PAGES // 8])
+    warm_refills = sum(o.refills for o in outs[-N_PAGES // 8:])
+    print(f"\nrefills: first {N_PAGES//8} allocs = {cold_refills}, "
+          f"last {N_PAGES//8} allocs = {warm_refills}")
+    assert cold_refills > 0
+    assert warm_refills <= cold_refills
+    benchmark.pedantic(lambda: None, rounds=1)
+
+def test_steady_state_no_refills_after_free_cycle(benchmark):
+    spec, alloc = make_allocator()
+    task = colored_task(spec)
+    pfns = [alloc.alloc_pages(task, 0).pfn for _ in range(N_PAGES)]
+    for pfn in pfns:
+        alloc.free_pages(task, pfn, 0)
+    # Balanced alloc/free working set: served from the colored lists.
+    outs = [alloc.alloc_pages(task, 0) for _ in range(N_PAGES)]
+    assert sum(o.refills for o in outs) == 0
+    benchmark.pedantic(lambda: None, rounds=1)
+
+def test_colored_steady_state_cost(benchmark):
+    spec, alloc = make_allocator()
+    task = colored_task(spec)
+    # Warm up the color lists.
+    warm = [alloc.alloc_pages(task, 0).pfn for _ in range(N_PAGES)]
+
+    def alloc_free_cycle():
+        pfn = alloc.alloc_pages(task, 0).pfn
+        alloc.free_pages(task, pfn, 0)
+
+    benchmark(alloc_free_cycle)
+    assert warm  # silence unused warning
+
+
+def test_buddy_baseline_cost(benchmark):
+    spec, alloc = make_allocator()
+    task = TaskStruct(tid=1, core=0)
+
+    def alloc_free_cycle():
+        pfn = alloc.alloc_pages(task, 0).pfn
+        alloc.free_pages(task, pfn, 0)
+
+    benchmark(alloc_free_cycle)
+
+
+def test_cold_colored_alloc_cost(benchmark):
+    """First-touch colored allocation, including refill scans."""
+    state = {}
+
+    def setup():
+        spec, alloc = make_allocator()
+        state["alloc"] = alloc
+        state["task"] = colored_task(spec)
+        return (), {}
+
+    def first_alloc():
+        state["alloc"].alloc_pages(state["task"], 0)
+
+    benchmark.pedantic(first_alloc, setup=setup, rounds=20)

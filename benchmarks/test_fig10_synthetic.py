@@ -1,0 +1,65 @@
+"""Fig. 10 — synthetic benchmark execution time per coloring policy.
+
+Paper (§V-A): alternating-stride writes touching each cache line once,
+per-thread private heaps.  MEM/LLC coloring reduces execution time by up
+to 17 %; LLC-only and MEM-only coloring also beat buddy.
+"""
+
+import pytest
+
+from repro.alloc.policies import Policy
+from repro.experiments.figures import FIG10_POLICIES, fig10
+from repro.experiments.runner import run_synthetic
+
+from conftest import PROFILE, REPS
+
+
+@pytest.fixture(scope="module")
+def fig10_records():
+    return [
+        run_synthetic(policy, "16_threads_4_nodes", rep=rep, profile=PROFILE)
+        for policy in FIG10_POLICIES
+        for rep in range(REPS)
+    ]
+
+
+def test_fig10_reproduction(fig10_records, benchmark):
+    fig = benchmark.pedantic(fig10, args=(fig10_records,), rounds=1)
+    print()
+    print(fig.render())
+    reduction = fig.reduction_vs_buddy()
+    print(f"MEM/LLC execution-time reduction vs buddy: {reduction:.1%} "
+          f"(paper: up to 17%)")
+    # Shape: every coloring beats buddy; MEM/LLC reduction is material.
+    for policy in (Policy.LLC, Policy.MEM, Policy.MEM_LLC):
+        assert fig.normalized[policy.label].mean < 1.0
+    assert reduction > 0.05
+
+
+def test_fig10_thread_scaling(benchmark):
+    """§V-A: "The pattern is exercised for different numbers of threads."
+
+    Contention grows with the thread count, so coloring's advantage over
+    buddy must widen from 4 to 16 threads.
+    """
+    configs = ("4_threads_4_nodes", "8_threads_4_nodes", "16_threads_4_nodes")
+    gains = {}
+    for config in configs:
+        buddy = run_synthetic(Policy.BUDDY, config, profile=PROFILE)
+        colored = run_synthetic(Policy.MEM_LLC, config, profile=PROFILE)
+        gains[config] = 1 - colored.runtime / buddy.runtime
+    print()
+    for config, gain in gains.items():
+        print(f"  {config:22s} MEM/LLC gain {gain:6.1%}")
+    assert gains["16_threads_4_nodes"] > gains["4_threads_4_nodes"]
+    benchmark.pedantic(lambda: None, rounds=1)
+
+
+def test_fig10_single_run_cost(benchmark):
+    """Wall-clock cost of one synthetic run (the harness's unit of work)."""
+    benchmark.pedantic(
+        run_synthetic,
+        args=(Policy.MEM_LLC, "8_threads_4_nodes"),
+        kwargs={"profile": PROFILE},
+        rounds=1,
+    )

@@ -1,0 +1,73 @@
+"""Fig. 11 — normalized benchmark runtime per policy, per configuration.
+
+Paper shapes checked:
+
+* TintMalloc's MEM+LLC reduces runtime vs buddy for the flagship
+  benchmarks (lbm up to −29.84 % at 16 threads / 4 nodes);
+* prior work BPM is slower than buddy AND the TintMalloc colorings;
+* blackscholes shows the smallest improvement, with a (part) variant as
+  its best coloring;
+* 16_threads_4_nodes exhibits the largest boosts.
+"""
+
+from repro.alloc.policies import Policy
+from repro.experiments.figures import fig11
+from repro.workloads.registry import BENCH_ORDER
+
+
+def test_fig11_reproduction(main_sweep, headline_config, benchmark):
+    fig = benchmark.pedantic(fig11, args=(main_sweep,), rounds=1)
+    print()
+    for config in fig.data:
+        print(fig.render(config))
+        print()
+
+    data = fig.data[headline_config]
+
+    # lbm: the paper's biggest winner.
+    lbm_memllc = data["lbm"][Policy.MEM_LLC.label].mean
+    print(f"lbm MEM+LLC normalized runtime: {lbm_memllc:.3f} "
+          f"(paper: 0.70 at 16t/4n)")
+    assert lbm_memllc < 0.90
+
+    # BPM is always worse than the TintMalloc coloring, and worse than
+    # buddy on the memory-bound benchmarks.
+    for bench in BENCH_ORDER:
+        bpm = data[bench][Policy.BPM.label].mean
+        memllc = data[bench][Policy.MEM_LLC.label].mean
+        assert bpm > memllc, f"{bench}: BPM should lose to MEM+LLC"
+    assert data["lbm"][Policy.BPM.label].mean > 1.0
+
+    # blackscholes: smallest improvement; its best coloring is a variant.
+    best_bs = min(
+        agg.mean for label, agg in data["blackscholes"].items()
+        if label != Policy.BUDDY.label and not label.startswith("bpm")
+    )
+    lbm_best = min(
+        agg.mean for label, agg in data["lbm"].items()
+        if label != Policy.BUDDY.label and not label.startswith("bpm")
+    )
+    print(f"best coloring: blackscholes {best_bs:.3f} vs lbm {lbm_best:.3f}")
+    assert best_bs > lbm_best  # blackscholes improves least
+
+
+def test_fig11_16t_shows_largest_boost(main_sweep, benchmark):
+    """Paper: "16_threads_4_nodes experiences the largest performance
+    boost" — compare against the small configuration."""
+    fig = fig11(main_sweep)
+    if len(fig.data) < 2:
+        return  # single-config run
+    big = fig.data["16_threads_4_nodes"]
+    small_name = next(c for c in fig.data if c != "16_threads_4_nodes")
+    small = fig.data[small_name]
+    gain_big = 1 - min(
+        big[b][Policy.MEM_LLC.label].mean for b in ("lbm", "art")
+    )
+    gain_small = 1 - min(
+        small[b][Policy.MEM_LLC.label].mean for b in ("lbm", "art")
+    )
+    print(f"MEM+LLC best gain: 16t4n {gain_big:.1%} vs {small_name} "
+          f"{gain_small:.1%}")
+    assert gain_big > gain_small
+    benchmark.pedantic(lambda: None, rounds=1)
+

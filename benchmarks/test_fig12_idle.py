@@ -1,0 +1,56 @@
+"""Fig. 12 — normalized total idle time at barriers.
+
+Paper shapes checked: MEM+LLC coloring reduces total idle time strongly on
+the balanced, memory-bound benchmarks (up to −74.3 % at 16 threads /
+4 nodes), and idle reduction correlates with runtime reduction.
+"""
+
+from repro.alloc.policies import Policy
+from repro.experiments.figures import fig11, fig12
+
+
+def test_fig12_reproduction(main_sweep, headline_config, benchmark):
+    fig = benchmark.pedantic(fig12, args=(main_sweep,), rounds=1)
+    print()
+    print(fig.render(headline_config))
+
+    data = fig.data[headline_config]
+    lbm_idle = data["lbm"][Policy.MEM_LLC.label].mean
+    print(f"lbm MEM+LLC normalized idle: {lbm_idle:.3f} "
+          f"(paper: 0.257 = -74.3%)")
+    assert lbm_idle < 0.6
+
+    # BPM's imbalance inflates idle time on the flagship benchmark.
+    assert data["lbm"][Policy.BPM.label].mean > 1.0
+
+
+def test_fig12_idle_correlates_with_runtime(main_sweep, headline_config, benchmark):
+    """Paper: "we observe a correlation between idle reduction and
+    benchmark runtimes across experiments"."""
+    runtime_fig = fig11(main_sweep)
+    idle_fig = fig12(main_sweep)
+    rt = runtime_fig.data[headline_config]
+    idle = idle_fig.data[headline_config]
+    pairs = [
+        (rt[b][Policy.MEM_LLC.label].mean, idle[b][Policy.MEM_LLC.label].mean)
+        for b in rt
+        if Policy.MEM_LLC.label in rt[b] and Policy.MEM_LLC.label in idle[b]
+    ]
+    # Rank correlation must be positive: better runtime <-> better idle.
+    n = len(pairs)
+    concordant = sum(
+        1
+        for i in range(n)
+        for j in range(i + 1, n)
+        if (pairs[i][0] - pairs[j][0]) * (pairs[i][1] - pairs[j][1]) > 0
+    )
+    discordant = sum(
+        1
+        for i in range(n)
+        for j in range(i + 1, n)
+        if (pairs[i][0] - pairs[j][0]) * (pairs[i][1] - pairs[j][1]) < 0
+    )
+    print(f"runtime/idle concordance: {concordant} vs {discordant}")
+    assert concordant > discordant
+    benchmark.pedantic(lambda: None, rounds=1)
+

@@ -1,0 +1,53 @@
+"""Fig. 13 — per-thread runtime in parallel sections.
+
+Paper shapes checked (16 threads / 4 nodes):
+
+* buddy's max-min thread-runtime spread is several times MEM+LLC's
+  (4.38x for lbm);
+* the slowest thread is materially faster under MEM+LLC (−30.77 % for
+  lbm).
+"""
+
+from repro.alloc.policies import Policy
+from repro.experiments.figures import fig13
+
+
+def test_fig13_reproduction(main_sweep, headline_config, benchmark):
+    fig = benchmark.pedantic(
+        fig13, args=(main_sweep, headline_config), rounds=1
+    )
+    print()
+    for bench in ("lbm", "blackscholes"):
+        print(fig.render(bench))
+        print()
+
+    buddy, memllc = Policy.BUDDY.label, Policy.MEM_LLC.label
+
+    spread_ratio = fig.spread("lbm", buddy) / max(
+        fig.spread("lbm", memllc), 1e-9
+    )
+    print(f"lbm thread-runtime spread buddy/mem+llc: {spread_ratio:.2f}x "
+          f"(paper: 4.38x)")
+    assert spread_ratio > 1.5
+
+    max_reduction = 1 - fig.max_value("lbm", memllc) / fig.max_value(
+        "lbm", buddy
+    )
+    print(f"lbm max-thread-runtime reduction: {max_reduction:.1%} "
+          f"(paper: 30.77%)")
+    assert max_reduction > 0.10
+
+
+def test_fig13_balance_across_benchmarks(main_sweep, headline_config, benchmark):
+    """MEM+LLC never makes imbalance dramatically worse than buddy on the
+    worker-first-touch benchmarks."""
+    fig = fig13(main_sweep, headline_config)
+    for bench in ("lbm", "art", "bodytrack"):
+        if bench not in fig.data:
+            continue
+        buddy = fig.spread(bench, Policy.BUDDY.label)
+        colored = fig.spread(bench, Policy.MEM_LLC.label)
+        print(f"{bench}: spread buddy={buddy:.3f} mem+llc={colored:.3f}")
+        assert colored < buddy * 1.5
+    benchmark.pedantic(lambda: None, rounds=1)
+

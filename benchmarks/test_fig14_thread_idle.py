@@ -1,0 +1,39 @@
+"""Fig. 14 — per-thread idle time at barriers.
+
+Paper shapes checked (16 threads / 4 nodes): the maximum per-thread idle
+time of lbm drops by ~75 % under MEM+LLC coloring.
+"""
+
+from repro.alloc.policies import Policy
+from repro.experiments.figures import fig14
+
+
+def test_fig14_reproduction(main_sweep, headline_config, benchmark):
+    fig = benchmark.pedantic(
+        fig14, args=(main_sweep, headline_config), rounds=1
+    )
+    print()
+    print(fig.render("lbm"))
+
+    buddy, memllc = Policy.BUDDY.label, Policy.MEM_LLC.label
+    reduction = 1 - fig.max_value("lbm", memllc) / max(
+        fig.max_value("lbm", buddy), 1e-9
+    )
+    print(f"lbm max-thread-idle reduction: {reduction:.1%} (paper: 75%)")
+    assert reduction > 0.3
+
+
+def test_fig14_idle_concentrates_on_fast_threads(main_sweep, headline_config, benchmark):
+    """Idle time is the mirror of runtime: under buddy, the threads that
+    finish early (short runtime) accumulate the idle time."""
+    from repro.experiments.figures import fig13
+
+    rt = fig13(main_sweep, headline_config).data["lbm"][Policy.BUDDY.label]
+    idle = fig14(main_sweep, headline_config).data["lbm"][Policy.BUDDY.label]
+    fastest = rt.index(min(rt))
+    slowest = rt.index(max(rt))
+    print(f"fastest thread t{fastest}: idle {idle[fastest]:.3f}; "
+          f"slowest t{slowest}: idle {idle[slowest]:.3f}")
+    assert idle[fastest] > idle[slowest]
+    benchmark.pedantic(lambda: None, rounds=1)
+

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Bank interference up close (the paper's Fig. 8 scenario).
+
+Two threads write large private buffers concurrently.  Under buddy
+allocation their pages interleave across the same DRAM banks, so each
+thread keeps closing the other's row buffer; with disjoint bank colors
+(MEM coloring) each thread streams its own banks undisturbed.
+
+The example prints the row-buffer outcome mix and the resulting mean
+DRAM latency for both placements.
+
+Run:  python examples/bank_interference.py
+"""
+
+import numpy as np
+
+from repro.alloc.policies import Policy
+from repro.core.session import ColoredTeam
+from repro.core.tintmalloc import TintMalloc
+from repro.kernel.kernel import Kernel
+from repro.machine.presets import opteron_6128_scaled
+from repro.sim.barrier import Program, Section
+from repro.sim.engine import Engine, MemorySystem
+from repro.sim.trace import Trace
+from repro.util.units import GIB, MIB
+
+
+def run(policy: Policy) -> dict:
+    machine = opteron_6128_scaled(1 * GIB)
+    kernel = Kernel(machine)
+    tm = TintMalloc(kernel=kernel)
+    # Two threads on the same node: they share the node's banks unless
+    # MEM coloring partitions them.
+    team = ColoredTeam.create(tm, cores=[0, 1], policy=policy)
+    memory = MemorySystem.for_machine(machine)
+
+    line = machine.mapping.line_bytes
+    nbytes = 2 * MIB
+    traces = {}
+    for i, handle in enumerate(team.handles):
+        base = handle.malloc(nbytes)
+        n = nbytes // line
+        traces[i] = Trace(
+            vaddrs=base + np.arange(n, dtype=np.int64) * line,
+            writes=np.ones(n, dtype=bool),
+            think_ns=1.0,
+        )
+    program = Program([Section("parallel", traces)], nthreads=2)
+    metrics = Engine(team, memory).run(program)
+    stats = memory.dram.stats
+    return {
+        "runtime_ms": metrics.parallel_runtime / 1e6,
+        "row_hits": stats.row_hits,
+        "row_conflicts": stats.row_conflicts,
+        "hit_rate": stats.row_hit_rate,
+        "mean_latency": stats.mean_latency,
+    }
+
+
+def main() -> None:
+    shared = run(Policy.BUDDY)
+    isolated = run(Policy.MEM)
+
+    print(f"{'':24s}{'shared banks (buddy)':>22s}{'private banks (MEM)':>22s}")
+    for key, fmt in (
+        ("row_hits", "{:>22d}"),
+        ("row_conflicts", "{:>22d}"),
+        ("hit_rate", "{:>22.2%}"),
+        ("mean_latency", "{:>20.1f}ns"),
+        ("runtime_ms", "{:>20.3f}ms"),
+    ):
+        print(f"{key:<24s}" + fmt.format(shared[key]) + fmt.format(isolated[key]))
+
+    assert isolated["hit_rate"] > shared["hit_rate"]
+    print("\nOK: private bank colors preserve row-buffer locality "
+          "(more hits, lower latency, shorter runtime).")
+
+
+if __name__ == "__main__":
+    main()

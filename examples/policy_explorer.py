@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Policy explorer: compare every coloring policy on one benchmark.
+
+Reproduces one group of the paper's Fig. 11 interactively: pick a
+benchmark and a thread/node configuration, run all seven allocation
+policies on identical traces, and print normalized runtime and idle time
+with an ASCII chart.
+
+Run:  python examples/policy_explorer.py [bench] [config]
+      python examples/policy_explorer.py freqmine 8_threads_4_nodes
+"""
+
+import sys
+
+from repro.alloc.policies import Policy
+from repro.analysis.charts import bar_chart
+from repro.analysis.stats import aggregate
+from repro.experiments.configs import CONFIGS
+from repro.experiments.runner import run_benchmark
+from repro.workloads.registry import BENCH_ORDER
+
+
+def main() -> None:
+    bench = sys.argv[1] if len(sys.argv) > 1 else "art"
+    config = sys.argv[2] if len(sys.argv) > 2 else "16_threads_4_nodes"
+    if bench not in BENCH_ORDER:
+        raise SystemExit(f"unknown benchmark {bench!r}; pick from {BENCH_ORDER}")
+    if config not in CONFIGS:
+        raise SystemExit(f"unknown config {config!r}; pick from {list(CONFIGS)}")
+
+    records = {}
+    for policy in Policy:
+        print(f"running {bench} under {policy.label} ...")
+        records[policy] = run_benchmark(bench, policy, config, profile="scaled")
+
+    base = records[Policy.BUDDY]
+    runtime_rows = {
+        p.label: aggregate([r.runtime / base.runtime])
+        for p, r in records.items()
+    }
+    idle_rows = {
+        p.label: aggregate([r.total_idle / max(base.total_idle, 1e-9)])
+        for p, r in records.items()
+    }
+
+    print()
+    print(bar_chart(
+        f"{bench} @ {config} — normalized runtime (buddy = 1.0)",
+        runtime_rows,
+    ))
+    print()
+    print(bar_chart(
+        f"{bench} @ {config} — normalized total idle time (buddy = 1.0)",
+        idle_rows,
+    ))
+
+    best = min(
+        (p for p in Policy if p is not Policy.BUDDY),
+        key=lambda p: records[p].runtime,
+    )
+    print(f"\nbest policy for {bench} here: {best.label} "
+          f"({1 - records[best].runtime / base.runtime:.1%} faster than buddy)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Section profile: where a benchmark's time (and coloring cost) goes.
+
+Runs a workload once and prints a per-section wall-clock breakdown — the
+serial input-loading phase, the parallel first-touch init (where colored
+allocation pays its §III-C overhead), and the compute sections separated
+by implicit barriers.
+
+Run:  python examples/section_profile.py [bench] [policy]
+      python examples/section_profile.py art mem+llc
+"""
+
+import sys
+
+from repro.alloc.policies import Policy
+from repro.core.session import ColoredTeam
+from repro.core.tintmalloc import TintMalloc
+from repro.experiments.configs import CONFIGS
+from repro.experiments.runner import profile_machine, profile_scale
+from repro.kernel.kernel import Kernel
+from repro.sim.engine import Engine, MemorySystem
+from repro.util.rng import RngStream
+from repro.workloads.base import build_spmd_program
+from repro.workloads.registry import get_workload
+
+
+def main() -> None:
+    bench = sys.argv[1] if len(sys.argv) > 1 else "lbm"
+    policy = next(
+        (p for p in Policy if p.label == (sys.argv[2] if len(sys.argv) > 2
+                                          else "mem+llc")),
+        Policy.MEM_LLC,
+    )
+    machine = profile_machine("scaled")
+    kernel = Kernel(machine)
+    tm = TintMalloc(kernel=kernel)
+    config = CONFIGS["16_threads_4_nodes"]
+    team = ColoredTeam.create(tm, list(config.cores), policy)
+    memory = MemorySystem.for_machine(machine)
+    spec = get_workload(bench).scaled(profile_scale("scaled"))
+    program = build_spmd_program(spec, team, RngStream(0, bench))
+    print(f"running {bench} under {policy.label} "
+          f"({program.total_accesses} simulated accesses) ...")
+    metrics = Engine(team, memory).run(program)
+
+    total = metrics.runtime
+    print(f"\n{'section':<16}{'kind':<10}{'time':>10}{'share':>8}"
+          f"{'ns/access':>11}{'faults':>8}{'idle':>10}")
+    for s in metrics.sections:
+        print(
+            f"{s.label:<16}{s.kind:<10}{s.duration/1e6:>8.3f}ms"
+            f"{s.duration/total:>8.1%}{s.ns_per_access:>11.1f}"
+            f"{s.faults:>8}{s.idle/1e6:>8.3f}ms"
+        )
+    print(f"\ntotal runtime {total/1e6:.3f} ms "
+          f"(serial {metrics.serial_runtime/total:.1%}, "
+          f"parallel {metrics.parallel_runtime/total:.1%}); "
+          f"total idle {metrics.total_idle/1e6:.3f} ms")
+
+    init = metrics.section("parallel-init")
+    steady = metrics.sections[-1]
+    if steady.kind != "parallel":
+        steady = metrics.section("compute[0]")
+    print(f"\nfirst-touch vs steady-state cost per access: "
+          f"{init.ns_per_access:.0f} ns vs {steady.ns_per_access:.0f} ns "
+          f"(the paper's §III-C initialization overhead)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""TintMalloc reproduction: controller-aware page coloring on a simulated
+NUMA machine.
+
+Top-level convenience exports; see the subpackages for the full API:
+
+* :mod:`repro.machine` — topology, physical address mapping, PCI probe
+* :mod:`repro.dram` — DRAM bank/controller/interconnect timing model
+* :mod:`repro.cache` — L1/L2/LLC hierarchy
+* :mod:`repro.kernel` — buddy allocator, color lists, tasks, VM, mmap ABI
+* :mod:`repro.alloc` — user heap, coloring policies, color planners
+* :mod:`repro.core` — the TintMalloc public API
+* :mod:`repro.sim` — multi-thread execution engine with barriers
+* :mod:`repro.workloads` — synthetic + SPEC/Parsec workload models
+* :mod:`repro.experiments` — the paper's figures/tables harness
+"""
+
+from repro.alloc.policies import Policy
+from repro.core.session import ColoredTeam
+from repro.core.tintmalloc import ThreadHandle, TintMalloc
+from repro.machine.presets import opteron_6128, tiny_machine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Policy",
+    "ColoredTeam",
+    "ThreadHandle",
+    "TintMalloc",
+    "opteron_6128",
+    "tiny_machine",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""User-level allocation: malloc heap, coloring policies, color planners.
+
+The heap allocator is the "regular malloc" of the paper — unchanged by
+coloring: once a task has issued its color directives via ``mmap()``, every
+page backing its heap automatically honours the colors, because demand
+faults go through the kernel's colored page selection.
+"""
+
+from repro.alloc.bpm import PlanError, bpm_assignments
+from repro.alloc.heap import HeapAllocator
+from repro.alloc.planner import ColorAssignment, plan_colors
+from repro.alloc.policies import Policy
+
+__all__ = [
+    "PlanError",
+    "bpm_assignments",
+    "HeapAllocator",
+    "ColorAssignment",
+    "plan_colors",
+    "Policy",
+]

@@ -1,0 +1,148 @@
+"""User-level heap allocator ("regular malloc" on top of ``mmap``).
+
+A size-class allocator in the style of a simple ptmalloc arena scheme:
+
+* small requests (up to half a page) come from per-task arena chunks cut
+  into power-of-two size classes with per-class free lists;
+* large requests get their own page-rounded anonymous mapping.
+
+Per-task arenas matter for the reproduction: a thread's small objects sit
+on pages *it* faults in, so they inherit the thread's colors (or land on
+its local node under first-touch), exactly as on the real system.  Note
+malloc itself is color-oblivious — coloring happens purely at the page
+level in the kernel, which is the paper's headline property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.kernel.kernel import Kernel, Process
+from repro.kernel.mmapi import PROT_RW
+from repro.kernel.task import TaskStruct
+from repro.kernel.vm import Vma
+
+#: Smallest serviced size class.
+MIN_CLASS = 16
+#: Arena chunk requested from mmap when a size class runs dry.
+ARENA_CHUNK = 64 * 1024
+
+
+def size_class_of(size: int, page_bytes: int) -> int | None:
+    """Size class (power of two) for ``size``, or None for large requests."""
+    if size <= 0:
+        raise ValueError("allocation size must be positive")
+    if size > page_bytes // 2:
+        return None
+    cls = MIN_CLASS
+    while cls < size:
+        cls <<= 1
+    return cls
+
+
+@dataclass
+class _Arena:
+    """Per-task allocation state."""
+
+    free_lists: dict[int, list[int]] = field(default_factory=dict)
+    chunks: list[Vma] = field(default_factory=list)
+    bump_ptr: int = 0
+    bump_end: int = 0
+
+
+@dataclass(frozen=True)
+class AllocationInfo:
+    """Metadata for one live allocation."""
+
+    va: int
+    size: int
+    size_class: int | None  # None => dedicated mapping
+    vma: Vma | None  # set for large allocations
+    task_tid: int
+
+
+class HeapAllocator:
+    """malloc/free over a process address space."""
+
+    def __init__(self, kernel: Kernel, process: Process) -> None:
+        self.kernel = kernel
+        self.process = process
+        self.page_bytes = 1 << kernel.mapping.page_bits
+        self._arenas: dict[int, _Arena] = {}
+        self._live: dict[int, AllocationInfo] = {}
+        self.bytes_allocated = 0
+        self.allocation_count = 0
+
+    # ------------------------------------------------------------------ malloc
+    def malloc(
+        self, task: TaskStruct, size: int, label: str = "",
+        huge: bool = False,
+    ) -> int:
+        """Allocate ``size`` bytes; returns the virtual address.
+
+        Backing frames are NOT allocated here — they fault in at first
+        touch, under whichever policy the toucher's TCB prescribes.
+        ``huge=True`` backs the allocation with 2 MiB pages (which bypass
+        coloring, paper §III-C).
+        """
+        cls = None if huge else size_class_of(size, self.page_bytes)
+        if cls is None:
+            vma = self.kernel.sys_mmap(
+                task, 0, size, PROT_RW, label=label or f"malloc:{size}",
+                huge=huge,
+            )
+            assert isinstance(vma, Vma)
+            info = AllocationInfo(vma.start, size, None, vma, task.tid)
+            self._register(info)
+            return vma.start
+
+        arena = self._arenas.setdefault(task.tid, _Arena())
+        free = arena.free_lists.setdefault(cls, [])
+        if free:
+            va = free.pop()
+        else:
+            va = self._carve(task, arena, cls)
+        info = AllocationInfo(va, size, cls, None, task.tid)
+        self._register(info)
+        return va
+
+    def _carve(self, task: TaskStruct, arena: _Arena, cls: int) -> int:
+        """Take ``cls`` bytes from the bump region, growing the arena."""
+        if arena.bump_ptr + cls > arena.bump_end:
+            vma = self.kernel.sys_mmap(
+                task, 0, ARENA_CHUNK, PROT_RW, label=f"arena:t{task.tid}"
+            )
+            assert isinstance(vma, Vma)
+            arena.chunks.append(vma)
+            arena.bump_ptr = vma.start
+            arena.bump_end = vma.end
+        va = arena.bump_ptr
+        arena.bump_ptr += cls
+        return va
+
+    def _register(self, info: AllocationInfo) -> None:
+        self._live[info.va] = info
+        self.bytes_allocated += info.size
+        self.allocation_count += 1
+
+    # ------------------------------------------------------------------ free
+    def free(self, task: TaskStruct, va: int) -> None:
+        """Release an allocation obtained from :meth:`malloc`."""
+        info = self._live.pop(va, None)
+        if info is None:
+            raise ValueError(f"free of unallocated address {va:#x}")
+        self.bytes_allocated -= info.size
+        if info.size_class is None:
+            assert info.vma is not None
+            self.kernel.sys_munmap(task, info.vma)
+            return
+        # Small object: return to the owning task's class free list.
+        arena = self._arenas[info.task_tid]
+        arena.free_lists.setdefault(info.size_class, []).append(va)
+
+    # ------------------------------------------------------------------ info
+    def live_allocations(self) -> int:
+        return len(self._live)
+
+    def allocation_at(self, va: int) -> AllocationInfo | None:
+        return self._live.get(va)

@@ -1,0 +1,189 @@
+"""Color planners: carve the machine's colors across a thread team.
+
+Implements the paper's partitioning rules (§V-B):
+
+* **MEM / controller-aware bank coloring** — each thread owns an equal,
+  disjoint share of its *local* node's bank colors; threads pinned to the
+  same node split that node's colors.
+* **LLC coloring** — the 32 LLC colors are split evenly and disjointly
+  over all threads ("for 16 threads each thread has two private LLC
+  colors; for 8 threads, four").
+* **MEM+LLC(part)** — private bank colors, but LLC colors are owned by
+  *groups* (one group per node): "for 16 threads we create 4 thread
+  groups, each with its private 8 LLC colors shared by the 4 threads in
+  this group".
+* **LLC+MEM(part)** — private LLC colors, bank colors shared group-wide:
+  every thread of a node may use all of that node's bank colors.
+* **BPM** — see :mod:`repro.alloc.bpm`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.alloc.bpm import PlanError, bpm_assignments
+from repro.alloc.policies import Policy
+from repro.machine.address import AddressMapping
+from repro.machine.topology import MachineTopology
+
+
+@dataclass(frozen=True)
+class ColorAssignment:
+    """Colors for one thread; empty tuples mean "uncolored" on that axis."""
+
+    mem_colors: tuple[int, ...] = field(default=())
+    llc_colors: tuple[int, ...] = field(default=())
+
+    @property
+    def colored(self) -> bool:
+        return bool(self.mem_colors) or bool(self.llc_colors)
+
+
+def _split_strided(items: range | list[int], parts: int, index: int) -> tuple[int, ...]:
+    """Share ``index`` of a *strided* disjoint split: {index, index+parts, ...}.
+
+    Used for LLC colors: strided shares span different values of the LLC
+    color bits shared with the bank field (bits 15/16 on the Opteron), so
+    a thread coloring both dimensions keeps several usable banks instead
+    of being pinned to the one bank value its colors imply.
+    """
+    items = list(items)
+    n = len(items)
+    if parts <= 0:
+        raise ValueError("parts must be positive")
+    if parts > n:
+        return (items[index % n],)
+    return tuple(items[index::parts])
+
+
+def _split_evenly(items: range | list[int], parts: int, index: int) -> tuple[int, ...]:
+    """Slice ``items`` into ``parts`` contiguous shares; return share ``index``.
+
+    When ``parts`` exceeds ``len(items)``, shares wrap around so every
+    thread still owns at least one color (threads then share colors —
+    unavoidable, and flagged by the caller via :func:`plan_is_disjoint`).
+    """
+    items = list(items)
+    n = len(items)
+    if parts <= 0:
+        raise ValueError("parts must be positive")
+    if parts > n:
+        return (items[index % n],)
+    base, extra = divmod(n, parts)
+    start = index * base + min(index, extra)
+    size = base + (1 if index < extra else 0)
+    return tuple(items[start : start + size])
+
+
+def plan_colors(
+    policy: Policy,
+    cores: list[int],
+    mapping: AddressMapping,
+    topology: MachineTopology,
+) -> list[ColorAssignment]:
+    """Compute per-thread color assignments.
+
+    Args:
+        policy: the coloring policy.
+        cores: pinned core of each thread, thread i -> cores[i].  The
+            master thread is thread 0, as in OpenMP.
+        mapping: platform address codec (color space sizes).
+        topology: core/node layout (locality).
+
+    Returns:
+        One :class:`ColorAssignment` per thread.
+    """
+    nthreads = len(cores)
+    if nthreads == 0:
+        raise ValueError("need at least one thread")
+    if len(set(cores)) != len(cores):
+        raise ValueError("threads must be pinned to distinct cores")
+
+    if policy is Policy.BUDDY:
+        return [ColorAssignment()] * nthreads
+    if policy is Policy.BPM:
+        return bpm_assignments(cores, mapping)
+
+    # Group threads by their local node, preserving thread order.
+    node_of = [topology.node_of_core(c) for c in cores]
+    peers_by_node: dict[int, list[int]] = {}
+    for i, node in enumerate(node_of):
+        peers_by_node.setdefault(node, []).append(i)
+
+    llc_all = range(mapping.num_llc_colors)
+    assignments: list[ColorAssignment] = []
+    # Node groups in first-appearance order — these are the paper's
+    # "thread groups" for the (part) policies.
+    group_order = list(dict.fromkeys(node_of))
+
+    for i in range(nthreads):
+        node = node_of[i]
+        peers = peers_by_node[node]
+        rank_in_node = peers.index(i)
+        local_banks = mapping.bank_colors_of_node(node)
+
+        mem: tuple[int, ...] = ()
+        llc: tuple[int, ...] = ()
+
+        if policy in (Policy.MEM, Policy.MEM_LLC, Policy.MEM_LLC_PART):
+            # Private share of the local node's bank colors.
+            mem = _split_evenly(local_banks, len(peers), rank_in_node)
+        elif policy is Policy.LLC_MEM_PART:
+            # Group-shared: all of the local node's bank colors.
+            mem = tuple(local_banks)
+
+        if policy in (Policy.LLC, Policy.MEM_LLC, Policy.LLC_MEM_PART):
+            # Private share of the global LLC color space.
+            llc = _split_strided(llc_all, nthreads, i)
+        elif policy is Policy.MEM_LLC_PART:
+            # One LLC share per node group, shared by the group's threads.
+            group_index = group_order.index(node)
+            llc = _split_strided(llc_all, len(group_order), group_index)
+
+        assignments.append(ColorAssignment(mem_colors=mem, llc_colors=llc))
+
+    _check_compatibility(assignments, mapping)
+    return assignments
+
+
+def _check_compatibility(
+    assignments: list[ColorAssignment], mapping: AddressMapping
+) -> None:
+    """Reject plans where some thread's color pair has no physical frames.
+
+    With the Opteron's overlapping bank/LLC bits this cannot happen for
+    the node-local policies (each thread owns all 8 banks of a channel/
+    rank, covering every shared-bit value), but the check guards custom
+    mappings and configurations.
+    """
+    for i, a in enumerate(assignments):
+        if not a.mem_colors or not a.llc_colors:
+            continue
+        if not any(
+            mapping.colors_compatible(bc, lc)
+            for bc in a.mem_colors
+            for lc in a.llc_colors
+        ):
+            raise PlanError(
+                f"thread {i}: no compatible (bank, LLC) pair in "
+                f"mem={a.mem_colors} llc={a.llc_colors}"
+            )
+
+
+def plan_is_disjoint(assignments: list[ColorAssignment]) -> tuple[bool, bool]:
+    """Check pairwise disjointness of (mem, llc) color sets across threads.
+
+    Returns ``(mem_disjoint, llc_disjoint)``; shared-by-design policies
+    (the "(part)" variants) legitimately report False on one axis.
+    """
+    seen_mem: set[int] = set()
+    seen_llc: set[int] = set()
+    mem_ok = llc_ok = True
+    for a in assignments:
+        if seen_mem & set(a.mem_colors):
+            mem_ok = False
+        if seen_llc & set(a.llc_colors):
+            llc_ok = False
+        seen_mem |= set(a.mem_colors)
+        seen_llc |= set(a.llc_colors)
+    return mem_ok, llc_ok

@@ -1,0 +1,82 @@
+"""Allocation/coloring policies compared in the paper (§V-B).
+
+========================  ====================================================
+policy                    meaning
+========================  ====================================================
+BUDDY                     standard Linux buddy allocation, no coloring
+BPM                       bank + LLC partitioning *without* controller
+                          awareness (Liu et al. [10]) — the prior-work
+                          baseline; banks are private but may be remote
+LLC                       private LLC colors per thread, memory uncolored
+MEM                       private (local) bank colors per thread, LLC
+                          uncolored
+MEM_LLC                   private bank colors and private LLC colors
+MEM_LLC_PART              private bank colors; LLC colors shared within a
+                          thread group
+LLC_MEM_PART              private LLC colors; bank colors shared within a
+                          thread group
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Policy(enum.Enum):
+    """Coloring policy for one experiment run."""
+
+    BUDDY = "buddy"
+    BPM = "bpm"
+    LLC = "llc"
+    MEM = "mem"
+    MEM_LLC = "mem+llc"
+    MEM_LLC_PART = "mem+llc(part)"
+    LLC_MEM_PART = "llc+mem(part)"
+
+    @property
+    def colors_memory(self) -> bool:
+        """Whether tasks receive bank (memory) colors under this policy."""
+        return self in (
+            Policy.BPM,
+            Policy.MEM,
+            Policy.MEM_LLC,
+            Policy.MEM_LLC_PART,
+            Policy.LLC_MEM_PART,
+        )
+
+    @property
+    def colors_llc(self) -> bool:
+        """Whether tasks receive LLC colors under this policy."""
+        return self in (
+            Policy.BPM,
+            Policy.LLC,
+            Policy.MEM_LLC,
+            Policy.MEM_LLC_PART,
+            Policy.LLC_MEM_PART,
+        )
+
+    @property
+    def controller_aware(self) -> bool:
+        """Whether bank colors are constrained to each thread's local node.
+
+        This is TintMalloc's distinguishing property; BPM colors banks but
+        ignores the controller.
+        """
+        return self in (
+            Policy.MEM,
+            Policy.MEM_LLC,
+            Policy.MEM_LLC_PART,
+            Policy.LLC_MEM_PART,
+        )
+
+    @property
+    def label(self) -> str:
+        return self.value
+
+
+#: The TintMalloc variants evaluated against MEM_LLC for "best other".
+TINT_VARIANTS = (Policy.LLC, Policy.MEM, Policy.MEM_LLC_PART, Policy.LLC_MEM_PART)
+
+#: Everything except BUDDY normalisation base.
+ALL_POLICIES = tuple(Policy)

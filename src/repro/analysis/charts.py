@@ -1,0 +1,87 @@
+"""Terminal bar charts with min/max error bars.
+
+The benchmark harness prints the paper's figures as ASCII so the
+reproduction is inspectable without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.analysis.stats import Aggregate
+
+_BAR = "█"
+_WIDTH = 44
+
+
+def _fmt_value(v: float) -> str:
+    return f"{v:7.3f}"
+
+
+def bar_chart(
+    title: str,
+    rows: Mapping[str, Aggregate],
+    unit: str = "",
+    width: int = _WIDTH,
+) -> str:
+    """Render labelled horizontal bars with [min..max] whiskers."""
+    if not rows:
+        return f"{title}\n  (no data)"
+    label_w = max(len(k) for k in rows)
+    scale_max = max(a.max for a in rows.values()) or 1.0
+    lines = [title]
+    for label, agg in rows.items():
+        bar_len = max(1, round(agg.mean / scale_max * width))
+        whisker = ""
+        if agg.n > 1 and agg.spread > 0:
+            whisker = f"  [{agg.min:.3f} .. {agg.max:.3f}]"
+        lines.append(
+            f"  {label:<{label_w}}  {_BAR * bar_len:<{width}} "
+            f"{_fmt_value(agg.mean)}{unit}{whisker}"
+        )
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    title: str,
+    groups: Mapping[str, Mapping[str, Aggregate]],
+    unit: str = "",
+    width: int = _WIDTH,
+) -> str:
+    """Render groups of bars (one group per benchmark, one bar per policy)."""
+    lines = [title]
+    all_aggs = [a for g in groups.values() for a in g.values()]
+    if not all_aggs:
+        return f"{title}\n  (no data)"
+    scale_max = max(a.max for a in all_aggs) or 1.0
+    label_w = max(
+        (len(k) for g in groups.values() for k in g), default=8
+    )
+    for group, rows in groups.items():
+        lines.append(f" {group}")
+        for label, agg in rows.items():
+            bar_len = max(1, round(agg.mean / scale_max * width))
+            whisker = ""
+            if agg.n > 1 and agg.spread > 0:
+                whisker = f"  [{agg.min:.3f} .. {agg.max:.3f}]"
+            lines.append(
+                f"   {label:<{label_w}}  {_BAR * bar_len:<{width}} "
+                f"{_fmt_value(agg.mean)}{unit}{whisker}"
+            )
+    return "\n".join(lines)
+
+
+def series_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Mapping[str, Sequence[float]],
+    fmt: str = "{:8.3f}",
+) -> str:
+    """Simple aligned table: one row label + one value per column."""
+    label_w = max((len(k) for k in rows), default=6)
+    header = " " * (label_w + 2) + " ".join(f"{c:>8}" for c in columns)
+    lines = [title, header]
+    for label, values in rows.items():
+        cells = " ".join(fmt.format(v) for v in values)
+        lines.append(f"  {label:<{label_w}}{cells}")
+    return "\n".join(lines)

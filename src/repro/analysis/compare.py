@@ -1,0 +1,69 @@
+"""Pairwise policy comparison with run-to-run confidence.
+
+The paper reports means with min/max error bars over ten repetitions.
+:func:`compare` formalises "A beats B" under that convention: the speedup
+of the means, plus whether the (min..max) intervals even overlap — a
+conservative, distribution-free significance notion appropriate for a
+deterministic simulator perturbed only by seeded noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.stats import Aggregate, aggregate
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Outcome of comparing metric samples of policy A against B."""
+
+    a: Aggregate
+    b: Aggregate
+    #: mean(B) / mean(A): >1 means A is faster/smaller on this metric.
+    ratio: float
+    #: True when the (min..max) ranges do not overlap — every observed A
+    #: run beat every observed B run.
+    separated: bool
+
+    @property
+    def improvement(self) -> float:
+        """Fractional reduction of A vs B (0.3 = 30 % lower)."""
+        return 1.0 - self.a.mean / self.b.mean
+
+    def verdict(self) -> str:
+        if self.separated:
+            return "separated"
+        if abs(self.improvement) < 0.01:
+            return "tied"
+        return "overlapping"
+
+
+def compare(
+    a_values: Sequence[float], b_values: Sequence[float]
+) -> Comparison:
+    """Compare metric samples (lower is better) of A against baseline B."""
+    a, b = aggregate(a_values), aggregate(b_values)
+    return Comparison(
+        a=a,
+        b=b,
+        ratio=b.mean / a.mean if a.mean else float("inf"),
+        separated=a.max < b.min or b.max < a.min,
+    )
+
+
+def comparison_table(
+    rows: dict[str, Comparison], metric: str = "runtime"
+) -> str:
+    """Render comparisons as an aligned text table."""
+    lines = [
+        f"{'case':<28}{metric + ' A':>12}{metric + ' B':>12}"
+        f"{'improv.':>9}{'verdict':>12}"
+    ]
+    for label, c in rows.items():
+        lines.append(
+            f"{label:<28}{c.a.mean:>12.3f}{c.b.mean:>12.3f}"
+            f"{c.improvement:>8.1%}{c.verdict():>12}"
+        )
+    return "\n".join(lines)

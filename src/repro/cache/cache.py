@@ -1,0 +1,166 @@
+"""A single set-associative, write-back, LRU cache.
+
+Tags are full line addresses (physical address >> offset bits), so the
+model is exact regardless of which address bits form the set index.
+Per-set recency is a Python list with the MRU entry last; with the small
+associativities involved (<= 24 ways) list operations beat any clever
+structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.topology import CacheGeometry
+
+
+@dataclass(frozen=True)
+class EvictedLine:
+    """A line pushed out of a cache by an insertion."""
+
+    line_addr: int
+    dirty: bool
+
+
+class Cache:
+    """One cache instance (an L1, an L2, or the shared LLC).
+
+    Args:
+        geometry: size/line/ways description.
+        name: label used in statistics ("l1[3]", "llc", ...).
+        hash_index: use hashed (XOR-folded) set indexing.  Real private
+            caches fold higher address bits into the index (or index
+            virtually), so OS page coloring does not restrict their
+            capacity; the LLC must use plain indexing — that is what
+            makes its sets colorable.
+    """
+
+    __slots__ = ("geometry", "name", "num_sets", "_set_mask", "_offset_bits",
+                 "_index_bits", "_hash", "_sets", "_dirty", "hits", "misses")
+
+    def __init__(
+        self, geometry: CacheGeometry, name: str = "cache",
+        hash_index: bool = False,
+    ) -> None:
+        self.geometry = geometry
+        self.name = name
+        self.num_sets = geometry.num_sets
+        self._set_mask = geometry.num_sets - 1
+        self._offset_bits = geometry.offset_bits
+        self._index_bits = geometry.index_bits
+        self._hash = hash_index
+        self._sets: list[list[int]] = [[] for _ in range(geometry.num_sets)]
+        self._dirty: set[int] = set()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------ basics
+    def set_of_line(self, line_addr: int) -> int:
+        """Set index of a line address (post-hash when enabled)."""
+        if self._hash:
+            ib = self._index_bits
+            folded = line_addr ^ (line_addr >> ib) ^ (line_addr >> (2 * ib))
+            return folded & self._set_mask
+        return line_addr & self._set_mask
+
+    def set_index_of(self, paddr: int) -> int:
+        return self.set_of_line(paddr >> self._offset_bits)
+
+    def line_addr_of(self, paddr: int) -> int:
+        return paddr >> self._offset_bits
+
+    # ------------------------------------------------------------------ ops
+    def lookup(self, line_addr: int, is_write: bool) -> bool:
+        """Probe the cache; on a hit refresh LRU and maybe set dirty."""
+        # set_of_line(), manually inlined: this is the simulator's hottest path.
+        if self._hash:
+            ib = self._index_bits
+            idx = (line_addr ^ (line_addr >> ib) ^ (line_addr >> (ib + ib))) & self._set_mask
+        else:
+            idx = line_addr & self._set_mask
+        entries = self._sets[idx]
+        try:
+            entries.remove(line_addr)
+        except ValueError:
+            self.misses += 1
+            return False
+        entries.append(line_addr)
+        if is_write:
+            self._dirty.add(line_addr)
+        self.hits += 1
+        return True
+
+    def insert(self, line_addr: int, dirty: bool) -> EvictedLine | None:
+        """Install a line, evicting the LRU entry of a full set.
+
+        Returns the eviction victim (with its dirty state) or None.
+        """
+        if self._hash:
+            ib = self._index_bits
+            idx = (line_addr ^ (line_addr >> ib) ^ (line_addr >> (ib + ib))) & self._set_mask
+        else:
+            idx = line_addr & self._set_mask
+        entries = self._sets[idx]
+        victim: EvictedLine | None = None
+        if line_addr in entries:
+            # Refresh an already-present line (e.g. refill racing a hit).
+            entries.remove(line_addr)
+        elif len(entries) >= self.geometry.ways:
+            old = entries.pop(0)
+            was_dirty = old in self._dirty
+            if was_dirty:
+                self._dirty.discard(old)
+            victim = EvictedLine(line_addr=old, dirty=was_dirty)
+        entries.append(line_addr)
+        if dirty:
+            self._dirty.add(line_addr)
+        return victim
+
+    def contains(self, line_addr: int) -> bool:
+        return line_addr in self._sets[self.set_of_line(line_addr)]
+
+    def mark_dirty(self, line_addr: int) -> bool:
+        """Set the dirty bit if present; returns whether the line was found."""
+        if self.contains(line_addr):
+            self._dirty.add(line_addr)
+            return True
+        return False
+
+    def invalidate(self, line_addr: int) -> bool:
+        """Drop a line (no write-back); returns whether it was present."""
+        entries = self._sets[self.set_of_line(line_addr)]
+        try:
+            entries.remove(line_addr)
+        except ValueError:
+            return False
+        self._dirty.discard(line_addr)
+        return True
+
+    # ------------------------------------------------------------------ info
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def occupancy(self) -> int:
+        """Number of valid lines currently held."""
+        return sum(len(s) for s in self._sets)
+
+    def occupancy_of_set(self, index: int) -> int:
+        return len(self._sets[index])
+
+    def reset(self) -> None:
+        for s in self._sets:
+            s.clear()
+        self._dirty.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Cache({self.name}, {self.geometry.size_bytes}B, "
+            f"{self.geometry.ways}-way, {self.num_sets} sets)"
+        )

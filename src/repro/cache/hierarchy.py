@@ -1,0 +1,210 @@
+"""Three-level cache hierarchy in front of the DRAM system.
+
+Private L1 and L2 per core, one LLC shared by all cores (as the paper
+describes its platform).  Non-inclusive: an LLC eviction does not recall
+private copies, and private-cache victims write their dirty state down
+into the LLC.  Dirty LLC victims become posted DRAM write-backs — the
+channel through which un-partitioned LLC sharing converts one thread's
+misses into another thread's bank traffic.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.cache.cache import Cache
+from repro.cache.prefetch import StridePrefetcher
+from repro.cache.stats import CacheLevelStats
+from repro.dram.system import AccessResult, DramSystem
+from repro.machine.topology import MachineTopology
+
+
+class MemoryLevel(enum.Enum):
+    """Where an access was satisfied."""
+
+    L1 = "l1"
+    L2 = "l2"
+    LLC = "llc"
+    DRAM = "dram"
+
+
+@dataclass(frozen=True)
+class CacheTiming:
+    """Hit latencies (ns) per level; DRAM latency comes from the DRAM model."""
+
+    l1_hit: float = 1.4
+    l2_hit: float = 4.5
+    llc_hit: float = 14.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.l1_hit <= self.l2_hit <= self.llc_hit:
+            raise ValueError("hit latencies must be ordered l1 <= l2 <= llc")
+
+
+class HierarchyResult:
+    """Outcome of one memory access through the hierarchy (slots class)."""
+
+    __slots__ = ("latency", "level", "dram")
+
+    def __init__(
+        self,
+        latency: float,
+        level: MemoryLevel,
+        dram: AccessResult | None = None,
+    ) -> None:
+        self.latency = latency
+        self.level = level
+        self.dram = dram
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HierarchyResult(latency={self.latency:.1f}, level={self.level})"
+
+
+class CacheHierarchy:
+    """Per-core L1/L2 plus the shared LLC, wired to a :class:`DramSystem`."""
+
+    def __init__(
+        self,
+        topology: MachineTopology,
+        dram: DramSystem,
+        timing: CacheTiming = CacheTiming(),
+        prefetch: bool = False,
+        prefetch_depth: int = 2,
+    ) -> None:
+        self.topology = topology
+        self.dram = dram
+        self.timing = timing
+        # Optional per-core stride prefetchers (ablation feature; the
+        # paper's synthetic benchmark is designed to defeat them).
+        self.prefetchers = (
+            [StridePrefetcher(depth=prefetch_depth)
+             for _ in range(topology.num_cores)]
+            if prefetch
+            else None
+        )
+        #: lines resident due to a prefetch, per core (for accuracy stats).
+        self._prefetched: list[set[int]] = [
+            set() for _ in range(topology.num_cores)
+        ]
+        # Private caches use hashed indexing (VIPT-like), so page coloring
+        # cannot shrink them; the LLC uses plain physical indexing, which
+        # is exactly what makes its sets colorable via frame selection.
+        self.l1 = [
+            Cache(topology.l1, name=f"l1[{core}]", hash_index=True)
+            for core in range(topology.num_cores)
+        ]
+        self.l2 = [
+            Cache(topology.l2, name=f"l2[{core}]", hash_index=True)
+            for core in range(topology.num_cores)
+        ]
+        self.llc = Cache(topology.llc, name="llc", hash_index=False)
+        self._line_bits = topology.llc.offset_bits
+        # Hit outcomes are identical for every access at a level; reuse one
+        # immutable result object per level (hot-path allocation saving).
+        self._r_l1 = HierarchyResult(timing.l1_hit, MemoryLevel.L1)
+        self._r_l2 = HierarchyResult(timing.l2_hit, MemoryLevel.L2)
+        self._r_llc = HierarchyResult(timing.llc_hit, MemoryLevel.LLC)
+
+    # ------------------------------------------------------------------ access
+    def access(
+        self, paddr: int, core: int, now: float, is_write: bool = False
+    ) -> HierarchyResult:
+        """Run one line-granular access; returns latency and the hit level."""
+        line = paddr >> self._line_bits
+        t = self.timing
+        if self.l1[core].lookup(line, is_write):
+            return self._r_l1
+
+        if self.l2[core].lookup(line, is_write):
+            self._fill_l1(core, line, is_write, now)
+            if self.prefetchers is not None:
+                if line in self._prefetched[core]:
+                    self._prefetched[core].discard(line)
+                    self.prefetchers[core].useful += 1
+                self._issue_prefetches(core, paddr, now)
+            return self._r_l2
+
+        if self.llc.lookup(line, is_write):
+            self._fill_private(core, line, is_write, now)
+            return self._r_llc
+
+        # LLC miss -> DRAM.
+        dram_result = self.dram.access(paddr, core, now, is_write)
+        victim = self.llc.insert(line, dirty=is_write)
+        if victim is not None and victim.dirty:
+            self.dram.writeback(victim.line_addr << self._line_bits, now)
+        self._fill_private(core, line, is_write, now)
+        if self.prefetchers is not None:
+            self._issue_prefetches(core, paddr, now)
+        latency = t.llc_hit + dram_result.latency
+        return HierarchyResult(latency, MemoryLevel.DRAM, dram=dram_result)
+
+    def _issue_prefetches(self, core: int, paddr: int, now: float) -> None:
+        """Run the stride detector and fill predicted lines into L2/LLC.
+
+        Prefetches never cross the 4 KiB frame boundary (physical
+        prefetchers cannot, since the next frame is unrelated memory).
+        """
+        line = paddr >> self._line_bits
+        page = paddr >> 12
+        for pf_line in self.prefetchers[core].observe(line):
+            pf_paddr = pf_line << self._line_bits
+            if pf_paddr >> 12 != page or pf_paddr < 0:
+                continue
+            if self.l2[core].contains(pf_line) or self.llc.contains(pf_line):
+                continue
+            self.dram.prefetch_fill(pf_paddr, core, now)
+            victim = self.llc.insert(pf_line, dirty=False)
+            if victim is not None and victim.dirty:
+                self.dram.writeback(victim.line_addr << self._line_bits, now)
+            l2_victim = self.l2[core].insert(pf_line, dirty=False)
+            if l2_victim is not None and l2_victim.dirty:
+                self._spill_to_llc(l2_victim.line_addr, now)
+            self._prefetched[core].add(pf_line)
+
+    # ------------------------------------------------------------------ fills
+    def _fill_private(self, core: int, line: int, dirty: bool, now: float) -> None:
+        victim = self.l2[core].insert(line, dirty=False)
+        if victim is not None and victim.dirty:
+            self._spill_to_llc(victim.line_addr, now)
+        self._fill_l1(core, line, dirty, now)
+
+    def _fill_l1(self, core: int, line: int, dirty: bool, now: float) -> None:
+        victim = self.l1[core].insert(line, dirty=dirty)
+        if victim is not None and victim.dirty:
+            # Write the victim down; L2 absorbs it if present, else the LLC.
+            if not self.l2[core].mark_dirty(victim.line_addr):
+                self._spill_to_llc(victim.line_addr, now)
+
+    def _spill_to_llc(self, line: int, now: float) -> None:
+        if self.llc.mark_dirty(line):
+            return
+        victim = self.llc.insert(line, dirty=True)
+        if victim is not None and victim.dirty:
+            self.dram.writeback(victim.line_addr << self._line_bits, now)
+
+    # ------------------------------------------------------------------ stats
+    def level_stats(self) -> dict[str, CacheLevelStats]:
+        """Aggregate hit/miss counters per level (L1/L2 summed over cores)."""
+        l1 = CacheLevelStats("l1", sum(c.hits for c in self.l1),
+                             sum(c.misses for c in self.l1))
+        l2 = CacheLevelStats("l2", sum(c.hits for c in self.l2),
+                             sum(c.misses for c in self.l2))
+        llc = CacheLevelStats("llc", self.llc.hits, self.llc.misses)
+        return {"l1": l1, "l2": l2, "llc": llc}
+
+    def core_stats(self, core: int) -> dict[str, CacheLevelStats]:
+        return {
+            "l1": CacheLevelStats("l1", self.l1[core].hits, self.l1[core].misses),
+            "l2": CacheLevelStats("l2", self.l2[core].hits, self.l2[core].misses),
+        }
+
+    def reset(self) -> None:
+        for cache in (*self.l1, *self.l2, self.llc):
+            cache.reset()
+        if self.prefetchers is not None:
+            for pf in self.prefetchers:
+                pf.reset()
+        for s in self._prefetched:
+            s.clear()

@@ -1,0 +1,32 @@
+"""Cache statistics roll-ups."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class CacheLevelStats:
+    """Immutable snapshot of one cache's counters."""
+
+    name: str
+    hits: int
+    misses: int
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def __add__(self, other: "CacheLevelStats") -> "CacheLevelStats":
+        return CacheLevelStats(
+            name=self.name, hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+        )

@@ -1,0 +1,26 @@
+"""TintMalloc public API — the paper's primary contribution.
+
+The user-facing model matches the paper: pin a thread to a core, issue
+*one line* of color setup during initialisation, then call plain
+``malloc``.  Every page that backs the thread's heap automatically comes
+from the requested controller/bank/LLC colors.
+
+    >>> from repro.core import TintMalloc
+    >>> tm = TintMalloc()                      # boots the simulated machine
+    >>> th = tm.spawn_thread(core=1)
+    >>> th.set_colors(mem=[32, 33], llc=[4])   # the paper's mmap() one-liner
+    >>> buf = th.malloc(1 << 20)
+    >>> th.touch_range(buf, 1 << 20)           # first touch -> colored frames
+"""
+
+from repro.core.coloring import ColorCapacity, color_capacity
+from repro.core.session import ColoredTeam
+from repro.core.tintmalloc import ThreadHandle, TintMalloc
+
+__all__ = [
+    "ColorCapacity",
+    "color_capacity",
+    "ColoredTeam",
+    "ThreadHandle",
+    "TintMalloc",
+]

@@ -1,0 +1,224 @@
+"""DRAM system facade: controllers, channels, banks, interconnect.
+
+One :class:`DramSystem` owns the mutable timing state of every memory
+resource in the machine and serves line-granular demand accesses and
+posted write-backs.  Banks are identified by their *bank color* (Eq. 1),
+which is globally unique — the same identifier TintMalloc partitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dram.bank import Bank, RowKind
+from repro.dram.interconnect import Interconnect
+from repro.dram.timing import DEFAULT_TIMING, DramTiming
+from repro.machine.address import AddressMapping
+from repro.machine.topology import MachineTopology
+
+
+class AccessResult:
+    """Outcome of one DRAM demand access (slots class: hot-path object)."""
+
+    __slots__ = ("latency", "row_kind", "node", "bank_color", "hops", "queue_wait")
+
+    def __init__(
+        self,
+        latency: float,  # total critical-path latency seen by the core
+        row_kind: RowKind,
+        node: int,  # controller that served the request
+        bank_color: int,
+        hops: int,  # interconnect hops (0 = local controller)
+        queue_wait: float,  # time spent waiting behind other requests
+    ) -> None:
+        self.latency = latency
+        self.row_kind = row_kind
+        self.node = node
+        self.bank_color = bank_color
+        self.hops = hops
+        self.queue_wait = queue_wait
+
+    @property
+    def remote(self) -> bool:
+        return self.hops > 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AccessResult(latency={self.latency:.1f}, kind={self.row_kind}, "
+            f"node={self.node}, bank={self.bank_color}, hops={self.hops})"
+        )
+
+
+@dataclass
+class DramStats:
+    """Aggregate counters over one simulation run."""
+
+    accesses: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    row_conflicts: int = 0
+    local_accesses: int = 0
+    remote_accesses: int = 0
+    writebacks: int = 0
+    prefetch_fills: int = 0
+    total_latency: float = 0.0
+    total_queue_wait: float = 0.0
+    wait_link: float = 0.0
+    wait_ctrl: float = 0.0
+    wait_chan: float = 0.0
+    wait_bank: float = 0.0
+    per_node_accesses: dict[int, int] = field(default_factory=dict)
+
+    def record(self, result: AccessResult) -> None:
+        self.accesses += 1
+        self.total_latency += result.latency
+        self.total_queue_wait += result.queue_wait
+        if result.row_kind is RowKind.HIT:
+            self.row_hits += 1
+        elif result.row_kind is RowKind.MISS:
+            self.row_misses += 1
+        else:
+            self.row_conflicts += 1
+        if result.remote:
+            self.remote_accesses += 1
+        else:
+            self.local_accesses += 1
+        self.per_node_accesses[result.node] = (
+            self.per_node_accesses.get(result.node, 0) + 1
+        )
+
+    @property
+    def row_hit_rate(self) -> float:
+        return self.row_hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def remote_fraction(self) -> float:
+        return self.remote_accesses / self.accesses if self.accesses else 0.0
+
+    @property
+    def mean_latency(self) -> float:
+        return self.total_latency / self.accesses if self.accesses else 0.0
+
+
+class DramSystem:
+    """All DRAM timing state of one machine.
+
+    Args:
+        mapping: the platform's physical address codec.
+        topology: socket/node/core layout (for interconnect distances).
+        timing: DRAM timing parameters.
+    """
+
+    def __init__(
+        self,
+        mapping: AddressMapping,
+        topology: MachineTopology,
+        timing: DramTiming = DEFAULT_TIMING,
+    ) -> None:
+        if mapping.num_nodes != topology.num_nodes:
+            raise ValueError("mapping/topology node count mismatch")
+        self.mapping = mapping
+        self.topology = topology
+        self.timing = timing
+        self.banks = [Bank(timing) for _ in range(mapping.num_bank_colors)]
+        self._ctrl_busy = [0.0] * mapping.num_nodes
+        # One data bus per (node, channel).
+        self._chan_busy = [0.0] * (mapping.num_nodes * mapping.num_channels)
+        self.interconnect = Interconnect(topology, timing)
+        self.stats = DramStats()
+        # Hot-path lookup tables.
+        self._frame_bank_color: np.ndarray
+        self._frame_bank_color, _ = mapping.frame_color_table()
+        self._colors_per_node = mapping.bank_colors_per_node
+        self._banks_per_channel = mapping.num_ranks * mapping.num_banks
+        self._page_bits = mapping.page_bits
+        self._row_shift = mapping.row_bits_start
+
+    # ------------------------------------------------------------------ access
+    def access(
+        self, paddr: int, core: int, now: float, is_write: bool = False
+    ) -> AccessResult:
+        """Serve an LLC-miss demand access and return its latency."""
+        bank_color = int(self._frame_bank_color[paddr >> self._page_bits])
+        node = bank_color // self._colors_per_node
+        row = paddr >> self._row_shift
+        t = self.timing
+
+        # Outbound interconnect (queues on the link for remote accesses).
+        arrival, hops = self.interconnect.traverse(core, node, now)
+
+        # Controller front-end queue.
+        ctrl_start = max(arrival, self._ctrl_busy[node])
+        self._ctrl_busy[node] = ctrl_start + t.ctrl_service
+        after_ctrl = ctrl_start + t.ctrl_overhead
+
+        # Channel data bus.
+        chan = bank_color // self._banks_per_channel
+        chan_start = max(after_ctrl, self._chan_busy[chan])
+        self._chan_busy[chan] = chan_start + t.channel_service
+
+        # Bank (row buffer).
+        bank = self.banks[bank_color]
+        bank_start, service, kind = bank.access(row, chan_start, is_write)
+
+        done = bank_start + service + self.interconnect.return_latency(core, node)
+        latency = done - now
+        w_link = arrival - now - (self.interconnect.return_latency(core, node))
+        w_ctrl = ctrl_start - arrival
+        w_chan = chan_start - after_ctrl
+        w_bank = bank_start - chan_start
+        queue_wait = max(0.0, w_link) + w_ctrl + w_chan + w_bank
+        stats = self.stats
+        stats.wait_link += max(0.0, w_link)
+        stats.wait_ctrl += w_ctrl
+        stats.wait_chan += w_chan
+        stats.wait_bank += w_bank
+        result = AccessResult(latency, kind, node, bank_color, hops, queue_wait)
+        stats.record(result)
+        return result
+
+    def prefetch_fill(self, paddr: int, core: int, now: float) -> None:
+        """Serve a prefetch: full bank/channel/controller occupancy, but
+        nothing waits on it (latency is off the critical path) and demand
+        statistics are untouched."""
+        bank_color = int(self._frame_bank_color[paddr >> self._page_bits])
+        node = bank_color // self._colors_per_node
+        row = paddr >> self._row_shift
+        t = self.timing
+        arrival, _ = self.interconnect.traverse(core, node, now)
+        ctrl_start = max(arrival, self._ctrl_busy[node])
+        self._ctrl_busy[node] = ctrl_start + t.ctrl_service
+        chan = bank_color // self._banks_per_channel
+        chan_start = max(ctrl_start + t.ctrl_overhead, self._chan_busy[chan])
+        self._chan_busy[chan] = chan_start + t.channel_service
+        self.banks[bank_color].access(row, chan_start, is_write=False)
+        self.stats.prefetch_fills += 1
+
+    def writeback(self, paddr: int, now: float) -> None:
+        """Post an eviction write-back (bank/channel occupancy only)."""
+        bank_color = int(self._frame_bank_color[paddr >> self._page_bits])
+        chan = bank_color // self._banks_per_channel
+        row = paddr >> self._row_shift
+        self._chan_busy[chan] = (
+            max(now, self._chan_busy[chan]) + self.timing.channel_service
+        )
+        self.banks[bank_color].writeback(row, now)
+        self.stats.writebacks += 1
+
+    # ------------------------------------------------------------------ misc
+    def bank_of(self, paddr: int) -> Bank:
+        return self.banks[int(self._frame_bank_color[paddr >> self._page_bits])]
+
+    def reset(self) -> None:
+        """Clear all timing state and statistics (fresh run)."""
+        for bank in self.banks:
+            bank.open_row = None
+            bank.busy_until = 0.0
+            bank.refresh_epoch = -1
+            bank.reset_stats()
+        self._ctrl_busy = [0.0] * self.mapping.num_nodes
+        self._chan_busy = [0.0] * (self.mapping.num_nodes * self.mapping.num_channels)
+        self.interconnect = Interconnect(self.topology, self.timing)
+        self.stats = DramStats()

@@ -1,0 +1,76 @@
+"""DRAM and interconnect timing parameters.
+
+All times are nanoseconds.  Defaults approximate a DDR3-1333 part behind an
+Opteron-class on-die controller; absolute values matter less than their
+ratios (row hit << closed miss < conflict; local << remote), which drive
+every effect the paper measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DramTiming:
+    """Timing/occupancy parameters for the DRAM system.
+
+    Attributes:
+        ctrl_overhead: fixed controller pipeline latency added to every
+            DRAM access (request decode, scheduling).
+        ctrl_service: controller occupancy per request; back-to-back
+            requests to one controller queue behind each other by this much.
+        channel_service: data-bus occupancy per 128 B line transfer.
+        row_hit: column access into an open row (tCAS).
+        row_miss: activate + column access into an idle bank (tRCD + tCAS).
+        row_conflict: precharge + activate + column access when another row
+            is open (tRP + tRCD + tCAS) — the bank-interference cost of
+            Fig. 8.
+        write_recovery: extra bank occupancy after a write (tWR).
+        refresh_interval: tREFI; when a bank crosses a refresh boundary its
+            row buffer is closed.
+        hop_latency: one-way interconnect latency per hop; a remote access
+            pays ``2 * hops * hop_latency`` on its critical path.
+        link_service: link occupancy per line transferred over one hop;
+            concurrent remote traffic queues on the link.
+        writeback_occupancy_scale: fraction of a normal access's bank
+            occupancy charged for an eviction write-back (writes are posted,
+            off the critical path, but still consume bank/channel time).
+    """
+
+    ctrl_overhead: float = 10.0
+    ctrl_service: float = 4.0
+    channel_service: float = 6.0
+    row_hit: float = 20.0
+    row_miss: float = 45.0
+    row_conflict: float = 70.0
+    write_recovery: float = 8.0
+    refresh_interval: float = 7800.0
+    hop_latency: float = 14.0
+    link_service: float = 4.0
+    writeback_occupancy_scale: float = 0.6
+
+    def __post_init__(self) -> None:
+        if not (self.row_hit <= self.row_miss <= self.row_conflict):
+            raise ValueError(
+                "timing must satisfy row_hit <= row_miss <= row_conflict"
+            )
+        for name in (
+            "ctrl_overhead",
+            "ctrl_service",
+            "channel_service",
+            "row_hit",
+            "write_recovery",
+            "hop_latency",
+            "link_service",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.refresh_interval <= 0:
+            raise ValueError("refresh_interval must be positive")
+        if not 0 <= self.writeback_occupancy_scale <= 1:
+            raise ValueError("writeback_occupancy_scale must be in [0, 1]")
+
+
+#: Default timing used by the Opteron preset experiments.
+DEFAULT_TIMING = DramTiming()

@@ -1,0 +1,13 @@
+"""Experiment harness: the paper's configurations, runner, and figures."""
+
+from repro.experiments.configs import CONFIGS, ExperimentConfig
+from repro.experiments.runner import RunRecord, run_benchmark, run_synthetic, sweep
+
+__all__ = [
+    "CONFIGS",
+    "ExperimentConfig",
+    "RunRecord",
+    "run_benchmark",
+    "run_synthetic",
+    "sweep",
+]

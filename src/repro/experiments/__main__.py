@@ -1,0 +1,106 @@
+"""Regenerate every paper figure from the command line.
+
+Usage::
+
+    python -m repro.experiments [--profile scaled|full|mini]
+                                [--reps N] [--configs all|c1,c2]
+                                [--out DIR] [--skip-sweep]
+
+Prints Figs. 10-14 as ASCII charts and writes the raw run records to
+``DIR/main_sweep.csv`` (plus ``fig10.csv``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.alloc.policies import Policy
+from repro.experiments.configs import CONFIG_ORDER
+from repro.experiments.figures import FIG10_POLICIES, fig10, fig11, fig12, fig13, fig14
+from repro.experiments.report import write_csv
+from repro.experiments.runner import run_synthetic, sweep
+from repro.workloads.registry import BENCH_ORDER
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.experiments")
+    parser.add_argument("--profile", default="scaled",
+                        choices=["scaled", "full", "mini"])
+    parser.add_argument("--reps", type=int, default=2)
+    parser.add_argument(
+        "--configs", default="16_threads_4_nodes,4_threads_4_nodes",
+        help='comma-separated config names, or "all"',
+    )
+    parser.add_argument("--out", default="benchmarks/out")
+    parser.add_argument("--skip-sweep", action="store_true",
+                        help="only run the (cheap) synthetic Fig. 10")
+    parser.add_argument("--experiments-md", default=None, metavar="PATH",
+                        help="also write the paper-vs-measured ledger "
+                             "(EXPERIMENTS.md) to PATH")
+    args = parser.parse_args(argv)
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    configs = (
+        list(CONFIG_ORDER) if args.configs == "all" else args.configs.split(",")
+    )
+
+    # ---------------------------------------------------------------- Fig 10
+    t0 = time.time()
+    print("== Fig. 10: synthetic benchmark ==")
+    fig10_records = [
+        run_synthetic(policy, "16_threads_4_nodes", rep=rep,
+                      profile=args.profile)
+        for policy in FIG10_POLICIES
+        for rep in range(args.reps)
+    ]
+    write_csv(fig10_records, str(out / "fig10.csv"))
+    f10 = fig10(fig10_records)
+    print(f10.render())
+    print(f"MEM/LLC reduction vs buddy: {f10.reduction_vs_buddy():.1%} "
+          f"(paper: up to 17%)\n")
+
+    if args.skip_sweep:
+        return 0
+
+    # ------------------------------------------------------------- Figs 11-14
+    print(f"== main sweep: {len(BENCH_ORDER)} benchmarks x "
+          f"{len(list(Policy))} policies x {len(configs)} configs x "
+          f"{args.reps} reps ==")
+    records = sweep(
+        benches=list(BENCH_ORDER),
+        policies=list(Policy),
+        configs=configs,
+        reps=args.reps,
+        profile=args.profile,
+    )
+    write_csv(records, str(out / "main_sweep.csv"))
+    print(f"(sweep took {time.time() - t0:.0f}s; CSV in {out})\n")
+
+    f11, f12 = fig11(records), fig12(records)
+    for config in configs:
+        print(f11.render(config))
+        print()
+        print(f12.render(config))
+        print()
+    headline = configs[0]
+    print(fig13(records, headline).render("lbm"))
+    print()
+    print(fig14(records, headline).render("lbm"))
+
+    if args.experiments_md:
+        from repro.experiments.experiments_md import write_experiments_md
+
+        write_experiments_md(
+            args.experiments_md, fig10_records, records,
+            profile=args.profile, reps=args.reps, configs=configs,
+        )
+        print(f"\nwrote {args.experiments_md}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

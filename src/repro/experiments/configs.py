@@ -1,0 +1,59 @@
+"""The paper's five thread/node configurations (§V-B).
+
+Core pins follow the paper's examples exactly:
+
+* ``16_threads_4_nodes`` — all 16 cores, 4 controllers.
+* ``8_threads_4_nodes``  — cores 0,1,4,5,8,9,12,13: one pair per node.
+* ``8_threads_2_nodes``  — cores 0-7 (both nodes of socket 0).
+* ``4_threads_4_nodes``  — cores 0,4,8,12: one per node.
+* ``4_threads_1_nodes``  — cores 0-3 (all on node 0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.topology import MachineTopology
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One thread-placement configuration."""
+
+    name: str
+    cores: tuple[int, ...]
+
+    @property
+    def nthreads(self) -> int:
+        return len(self.cores)
+
+    def nodes_used(self, topology: MachineTopology) -> tuple[int, ...]:
+        return tuple(sorted({topology.node_of_core(c) for c in self.cores}))
+
+
+CONFIGS: dict[str, ExperimentConfig] = {
+    "16_threads_4_nodes": ExperimentConfig(
+        "16_threads_4_nodes", tuple(range(16))
+    ),
+    "8_threads_4_nodes": ExperimentConfig(
+        "8_threads_4_nodes", (0, 1, 4, 5, 8, 9, 12, 13)
+    ),
+    "8_threads_2_nodes": ExperimentConfig(
+        "8_threads_2_nodes", tuple(range(8))
+    ),
+    "4_threads_4_nodes": ExperimentConfig(
+        "4_threads_4_nodes", (0, 4, 8, 12)
+    ),
+    "4_threads_1_nodes": ExperimentConfig(
+        "4_threads_1_nodes", (0, 1, 2, 3)
+    ),
+}
+
+#: Paper ordering.
+CONFIG_ORDER = (
+    "16_threads_4_nodes",
+    "8_threads_4_nodes",
+    "8_threads_2_nodes",
+    "4_threads_4_nodes",
+    "4_threads_1_nodes",
+)

@@ -1,0 +1,231 @@
+"""Run benchmarks under policies and collect picklable result records.
+
+One *run* = a fresh simulated machine (kernel, caches, DRAM), a pinned
+colored team, and one benchmark program executed to completion.  Repeats
+use different trace seeds; the seed is derived from (bench, config, rep)
+but **not** the policy, so policies are compared on identical traces, as
+on real hardware where the program does not depend on the allocator.
+
+:func:`sweep` fans runs out over a process pool — runs are completely
+independent simulations.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from repro.alloc.policies import Policy
+from repro.core.session import ColoredTeam
+from repro.core.tintmalloc import TintMalloc
+from repro.experiments.configs import CONFIGS, ExperimentConfig
+from repro.kernel.kernel import Kernel
+from repro.machine.presets import MachineSpec, opteron_6128, opteron_6128_scaled
+from repro.sim.engine import Engine, MemorySystem
+from repro.util.rng import RngStream
+from repro.util.units import GIB, MIB
+from repro.workloads.base import build_spmd_program
+from repro.workloads.registry import get_workload
+from repro.workloads.synthetic import SyntheticSpec, build_synthetic_program
+
+#: Machine memory used for experiment runs (keeps frame tables small while
+#: leaving ample colored capacity per thread).
+EXPERIMENT_MEMORY = 4 * GIB
+
+#: Run profiles: (machine factory, machine memory, workload scale factor).
+#: "scaled" runs the paper's experiments on the 1:4 machine with 1:4
+#: workloads — identical capacity/contention ratios, a quarter of the
+#: simulated accesses.  It is the default for the benchmark harness.
+PROFILES = {
+    "full": (opteron_6128, 4 * GIB, 1.0),
+    "scaled": (opteron_6128_scaled, 1 * GIB, 0.25),
+    # Smoke-test profile: tiny footprints, sub-second runs; shapes are
+    # noisier, so use it for plumbing tests only.
+    "mini": (opteron_6128_scaled, 256 * MIB, 0.05),
+}
+
+
+def profile_machine(profile: str) -> MachineSpec:
+    factory, memory, _ = PROFILES[profile]
+    return factory(memory)
+
+
+def profile_scale(profile: str) -> float:
+    return PROFILES[profile][2]
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """Picklable summary of one run (everything Figs. 10-14 need)."""
+
+    bench: str
+    policy: str
+    config: str
+    rep: int
+    runtime: float
+    parallel_runtime: float
+    serial_runtime: float
+    total_idle: float
+    thread_runtimes: tuple[float, ...]
+    thread_idles: tuple[float, ...]
+    remote_fraction: float
+    row_hit_rate: float
+    row_conflicts: int
+    llc_miss_rate: float
+    dram_accesses: int
+    faults: int
+
+    @property
+    def runtime_spread(self) -> float:
+        return max(self.thread_runtimes) - min(self.thread_runtimes)
+
+    @property
+    def max_thread_runtime(self) -> float:
+        return max(self.thread_runtimes)
+
+    @property
+    def max_thread_idle(self) -> float:
+        return max(self.thread_idles)
+
+
+def _fresh_environment(
+    config: ExperimentConfig,
+    policy: Policy,
+    machine: MachineSpec | None = None,
+    age_seed: int = 0,
+) -> tuple[ColoredTeam, Engine]:
+    machine = machine or opteron_6128(EXPERIMENT_MEMORY)
+    kernel = Kernel(machine, age_seed=age_seed)
+    tm = TintMalloc(kernel=kernel)
+    team = ColoredTeam.create(tm, list(config.cores), policy)
+    memory = MemorySystem.for_machine(machine)
+    return team, Engine(team, memory)
+
+
+def _record_from_metrics(metrics, bench, policy, config, rep) -> RunRecord:
+    llc = metrics.cache.get("llc")
+    return RunRecord(
+        bench=bench,
+        policy=policy.label,
+        config=config,
+        rep=rep,
+        runtime=metrics.runtime,
+        parallel_runtime=metrics.parallel_runtime,
+        serial_runtime=metrics.serial_runtime,
+        total_idle=metrics.total_idle,
+        thread_runtimes=tuple(metrics.thread_runtimes()),
+        thread_idles=tuple(metrics.thread_idles()),
+        remote_fraction=metrics.remote_fraction,
+        row_hit_rate=metrics.dram.row_hit_rate if metrics.dram else 0.0,
+        row_conflicts=metrics.dram.row_conflicts if metrics.dram else 0,
+        llc_miss_rate=llc.miss_rate if llc else 0.0,
+        dram_accesses=metrics.dram.accesses if metrics.dram else 0,
+        faults=sum(t.faults for t in metrics.threads),
+    )
+
+
+def run_benchmark(
+    bench: str,
+    policy: Policy,
+    config_name: str,
+    rep: int = 0,
+    seed: int = 0,
+    scale: float | None = None,
+    machine: MachineSpec | None = None,
+    profile: str = "full",
+) -> RunRecord:
+    """Execute one benchmark run and summarise it.
+
+    ``profile`` selects machine + workload scaling together ("full" or
+    "scaled"); explicit ``machine``/``scale`` arguments override it.
+    """
+    config = CONFIGS[config_name]
+    spec = get_workload(bench)
+    if scale is None:
+        scale = profile_scale(profile)
+    if scale != 1.0:
+        spec = spec.scaled(scale)
+    if machine is None and profile != "full":
+        machine = profile_machine(profile)
+    team, engine = _fresh_environment(config, policy, machine, age_seed=seed + rep)
+    rng = RngStream(seed + rep, bench, config_name)
+    program = build_spmd_program(spec, team, rng)
+    metrics = engine.run(program)
+    return _record_from_metrics(metrics, bench, policy, config_name, rep)
+
+
+def run_synthetic(
+    policy: Policy,
+    config_name: str = "16_threads_4_nodes",
+    rep: int = 0,
+    spec: SyntheticSpec | None = None,
+    machine: MachineSpec | None = None,
+    profile: str = "full",
+) -> RunRecord:
+    """Execute one synthetic-benchmark run (Fig. 10)."""
+    config = CONFIGS[config_name]
+    if spec is None:
+        scale = profile_scale(profile)
+        spec = SyntheticSpec(
+            per_thread_bytes=max(
+                64 * 1024, int(SyntheticSpec().per_thread_bytes * scale)
+            )
+        )
+    if machine is None and profile != "full":
+        machine = profile_machine(profile)
+    team, engine = _fresh_environment(config, policy, machine, age_seed=rep)
+    program = build_synthetic_program(spec, team)
+    metrics = engine.run(program)
+    return _record_from_metrics(metrics, spec.name, policy, config_name, rep)
+
+
+# ---------------------------------------------------------------------- sweep
+@dataclass(frozen=True)
+class SweepJob:
+    bench: str
+    policy: Policy
+    config: str
+    rep: int
+    profile: str = "scaled"
+    seed: int = 0
+
+
+def _run_job(job: SweepJob) -> RunRecord:
+    return run_benchmark(
+        job.bench, job.policy, job.config, rep=job.rep, seed=job.seed,
+        profile=job.profile,
+    )
+
+
+def sweep(
+    benches: list[str],
+    policies: list[Policy],
+    configs: list[str],
+    reps: int = 3,
+    profile: str = "scaled",
+    seed: int = 0,
+    max_workers: int | None = None,
+    parallel: bool | None = None,
+) -> list[RunRecord]:
+    """Run the full cross product; this powers Figs. 11-14 in one pass.
+
+    Fans out over a process pool when the host has multiple CPUs;
+    single-core hosts run sequentially (fork + pickle overhead would only
+    slow them down).
+    """
+    jobs = [
+        SweepJob(bench=b, policy=p, config=c, rep=r, profile=profile, seed=seed)
+        for b in benches
+        for c in configs
+        for p in policies
+        for r in range(reps)
+    ]
+    cpus = os.cpu_count() or 1
+    if parallel is None:
+        parallel = cpus > 1
+    if not parallel or len(jobs) == 1:
+        return [_run_job(j) for j in jobs]
+    workers = max_workers or min(len(jobs), cpus)
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(_run_job, jobs, chunksize=1))

@@ -1,0 +1,53 @@
+"""Simulated OS kernel: buddy allocator, colored page lists, tasks, VM.
+
+This package is the Linux-kernel substrate the paper modifies.  The page
+allocation path follows the paper's Algorithms 1 (colored page selection)
+and 2 (``create_color_list``) verbatim, layered on a per-node binary buddy
+allocator; the ``mmap()`` color-control ABI (zero-length call with bit 30
+of ``prot`` set) is implemented in :mod:`repro.kernel.mmapi`.
+"""
+
+from repro.kernel.buddy import BuddyAllocator, MAX_ORDER
+from repro.kernel.colorlist import ColorMatrix
+from repro.kernel.frame import FramePool, FrameState
+from repro.kernel.kernel import Kernel, OutOfColoredMemory, OutOfMemory
+from repro.kernel.mmapi import (
+    COLOR_ALLOC,
+    MODE_CLEAR_LLC,
+    MODE_CLEAR_MEM,
+    MODE_SET_LLC,
+    MODE_SET_MEM,
+    clear_llc_color,
+    clear_mem_color,
+    set_llc_color,
+    set_mem_color,
+)
+from repro.kernel.pagealloc import AllocOutcome, PageAllocator
+from repro.kernel.task import TaskStruct
+from repro.kernel.vm import AddressSpace, PageFault, Vma
+
+__all__ = [
+    "BuddyAllocator",
+    "MAX_ORDER",
+    "ColorMatrix",
+    "FramePool",
+    "FrameState",
+    "Kernel",
+    "OutOfColoredMemory",
+    "OutOfMemory",
+    "COLOR_ALLOC",
+    "MODE_SET_MEM",
+    "MODE_SET_LLC",
+    "MODE_CLEAR_MEM",
+    "MODE_CLEAR_LLC",
+    "set_mem_color",
+    "set_llc_color",
+    "clear_mem_color",
+    "clear_llc_color",
+    "AllocOutcome",
+    "PageAllocator",
+    "TaskStruct",
+    "AddressSpace",
+    "PageFault",
+    "Vma",
+]

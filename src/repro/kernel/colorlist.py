@@ -1,0 +1,181 @@
+"""The colored free-page matrix: ``color_list[MEM_ID][LLC_ID]``.
+
+The paper's kernel keeps 128 x 32 color lists next to the buddy free list.
+Order-0 frames migrate from buddy blocks into these lists via
+``create_color_list`` (Algorithm 2) and are handed to tasks whose TCB
+colors match (Algorithm 1).  Frames freed by colored tasks return here.
+
+Pops rotate over the caller's allowed colors so a task with several colors
+spreads its pages across them instead of exhausting the first one — the
+multi-color analogue of the round-robin the buddy allocator gets for free.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Sequence
+
+from repro.kernel.frame import FramePool
+
+
+class ColorMatrix:
+    """Free lists of order-0 frames indexed by (bank color, LLC color)."""
+
+    def __init__(self, pool: FramePool) -> None:
+        self.pool = pool
+        self.num_mem = pool.mapping.num_bank_colors
+        self.num_llc = pool.mapping.num_llc_colors
+        self._lists: dict[tuple[int, int], deque[int]] = {}
+        # Non-empty index: mem -> llc colors with available frames, and the
+        # reverse.  Values are insertion-ordered dicts used as ordered sets
+        # so iteration order (and thus allocation) is deterministic.
+        self._llc_of_mem: dict[int, dict[int, None]] = {}
+        self._mem_of_llc: dict[int, dict[int, None]] = {}
+        self.total_free = 0
+        # Rotation cursors so repeated pops cycle through allowed colors.
+        self._cursor = 0
+
+    # ------------------------------------------------------------------ push
+    def push(self, pfn: int) -> None:
+        """Add a free order-0 frame under its (bank, LLC) colors."""
+        mem = int(self.pool.bank_color[pfn])
+        llc = int(self.pool.llc_color[pfn])
+        self.pool.mark_colored_free(pfn)
+        key = (mem, llc)
+        bucket = self._lists.get(key)
+        if bucket is None:
+            bucket = self._lists[key] = deque()
+        bucket.append(pfn)
+        self._llc_of_mem.setdefault(mem, {})[llc] = None
+        self._mem_of_llc.setdefault(llc, {})[mem] = None
+        self.total_free += 1
+
+    def push_block(self, start_pfn: int, order: int) -> None:
+        """Algorithm 2 (``create_color_list``): split a buddy block of
+        ``2**order`` frames into single pages appended to their color lists.
+        """
+        for pfn in range(start_pfn, start_pfn + (1 << order)):
+            self.push(pfn)
+
+    # ------------------------------------------------------------------ pop
+    def _pop_key(self, key: tuple[int, int]) -> int:
+        bucket = self._lists[key]
+        pfn = bucket.popleft()
+        if not bucket:
+            mem, llc = key
+            self._llc_of_mem[mem].pop(llc, None)
+            self._mem_of_llc[llc].pop(mem, None)
+        self.total_free -= 1
+        self.pool.mark_buddy(pfn)  # caller will mark ALLOCATED
+        return pfn
+
+    def pop_matching(
+        self,
+        mem_colors: Sequence[int] | None,
+        llc_colors: Sequence[int] | None,
+        mem_preference: Sequence[int] | None = None,
+    ) -> int | None:
+        """Pop a frame matching the constraints, or None.
+
+        ``mem_colors``/``llc_colors`` are the task's owned color sets; None
+        means unconstrained on that axis (paper: only ``using_bank`` or only
+        ``using_llc`` set).  At least one must be given.
+
+        ``mem_preference`` (only meaningful when ``mem_colors`` is None)
+        orders the unconstrained bank-color search — the kernel passes the
+        local node's colors first, mirroring Linux's zone-local preference
+        for allocations that don't pin the controller.
+        """
+        if mem_colors is None and llc_colors is None:
+            raise ValueError("pop_matching needs at least one constraint")
+        self._cursor += 1
+        if mem_colors is not None and llc_colors is not None:
+            n = len(mem_colors) * len(llc_colors)
+            for i in range(n):
+                j = (self._cursor + i) % n
+                key = (mem_colors[j % len(mem_colors)],
+                       llc_colors[j // len(mem_colors)])
+                if self._lists.get(key):
+                    return self._pop_key(key)
+            return None
+        if mem_colors is not None:
+            for i in range(len(mem_colors)):
+                mem = mem_colors[(self._cursor + i) % len(mem_colors)]
+                available = self._llc_of_mem.get(mem)
+                if available:
+                    # Rotate the unconstrained LLC pick too: a MEM-only
+                    # task's pages must spread over LLC colors like buddy
+                    # pages do, or the constraint would silently shrink
+                    # its usable LLC.  The secondary index advances once
+                    # per full primary cycle so the two rotations cover
+                    # the whole cross product instead of moving in
+                    # lockstep.
+                    keys = list(available)
+                    idx = (self._cursor // max(1, len(mem_colors))) % len(keys)
+                    return self._pop_key((mem, keys[idx]))
+            return None
+        assert llc_colors is not None
+        if mem_preference is not None:
+            for mem in mem_preference:
+                available = self._llc_of_mem.get(mem)
+                if not available:
+                    continue
+                for i in range(len(llc_colors)):
+                    llc = llc_colors[(self._cursor + i) % len(llc_colors)]
+                    if llc in available:
+                        return self._pop_key((mem, llc))
+        for i in range(len(llc_colors)):
+            llc = llc_colors[(self._cursor + i) % len(llc_colors)]
+            available = self._mem_of_llc.get(llc)
+            if available:
+                keys = list(available)
+                idx = (self._cursor // max(1, len(llc_colors))) % len(keys)
+                return self._pop_key((keys[idx], llc))
+        return None
+
+    def has_matching(
+        self,
+        mem_colors: Iterable[int] | None,
+        llc_colors: Iterable[int] | None,
+    ) -> bool:
+        """Whether any free frame satisfies the constraints."""
+        if mem_colors is not None and llc_colors is not None:
+            llc_set = set(llc_colors)
+            return any(
+                llc_set.intersection(self._llc_of_mem.get(mem, ()))
+                for mem in mem_colors
+            )
+        if mem_colors is not None:
+            return any(self._llc_of_mem.get(mem) for mem in mem_colors)
+        if llc_colors is not None:
+            return any(self._mem_of_llc.get(llc) for llc in llc_colors)
+        raise ValueError("has_matching needs at least one constraint")
+
+    # ------------------------------------------------------------------ info
+    def free_count(self, mem: int, llc: int) -> int:
+        bucket = self._lists.get((mem, llc))
+        return len(bucket) if bucket else 0
+
+    def free_count_mem(self, mem: int) -> int:
+        return sum(
+            self.free_count(mem, llc)
+            for llc in self._llc_of_mem.get(mem, ())
+        )
+
+    def check_invariants(self) -> None:
+        """Assert index consistency (used by property-based tests)."""
+        total = 0
+        for (mem, llc), bucket in self._lists.items():
+            total += len(bucket)
+            nonempty = bool(bucket)
+            if nonempty != (llc in self._llc_of_mem.get(mem, {})):
+                raise AssertionError(f"llc_of_mem index stale at {(mem, llc)}")
+            if nonempty != (mem in self._mem_of_llc.get(llc, {})):
+                raise AssertionError(f"mem_of_llc index stale at {(mem, llc)}")
+            for pfn in bucket:
+                if int(self.pool.bank_color[pfn]) != mem:
+                    raise AssertionError(f"frame {pfn} on wrong mem list")
+                if int(self.pool.llc_color[pfn]) != llc:
+                    raise AssertionError(f"frame {pfn} on wrong llc list")
+        if total != self.total_free:
+            raise AssertionError("total_free counter out of sync")

@@ -1,0 +1,90 @@
+"""Physical frame pool: per-frame colors and allocation state.
+
+The pool precomputes every frame's bank color (Eq. 1) and LLC color once
+from the address mapping — the analogue of the per-``struct page`` color
+fields the paper's kernel derives from PCI registers at boot.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.machine.address import AddressMapping
+
+
+class FrameState(enum.IntEnum):
+    """Where a frame currently lives."""
+
+    BUDDY = 0  # on a buddy free list (possibly inside a larger block)
+    COLORED_FREE = 1  # on a color_list[mem][llc] free list
+    ALLOCATED = 2  # handed out to a task
+
+
+class FramePool:
+    """All physical frames of the machine with color and state tracking."""
+
+    def __init__(self, mapping: AddressMapping) -> None:
+        if not mapping.frame_colors_invariant():
+            raise ValueError(
+                "address mapping does not give frames invariant colors; "
+                "coloring requires all color bits at/above the page offset"
+            )
+        self.mapping = mapping
+        self.num_frames = mapping.num_frames
+        bank, llc = mapping.frame_color_table()
+        #: bank color (Eq. 1) per frame, int16 (<= 2**15 colors).
+        self.bank_color: np.ndarray = bank.astype(np.int16)
+        #: LLC color per frame.
+        self.llc_color: np.ndarray = llc.astype(np.int16)
+        #: FrameState per frame.
+        self.state: np.ndarray = np.full(
+            self.num_frames, FrameState.BUDDY, dtype=np.int8
+        )
+        #: owning task id per frame, -1 when not ALLOCATED.
+        self.owner: np.ndarray = np.full(self.num_frames, -1, dtype=np.int32)
+
+    @property
+    def frames_per_node(self) -> int:
+        return self.num_frames // self.mapping.num_nodes
+
+    def node_of_frame(self, pfn: int) -> int:
+        """Memory node serving ``pfn`` (from its bank color)."""
+        return int(self.bank_color[pfn]) // self.mapping.bank_colors_per_node
+
+    def node_frame_range(self, node: int) -> tuple[int, int]:
+        """[start, end) frame numbers owned by ``node``.
+
+        Valid because presets place the node field in the top address bits
+        (each controller owns a contiguous range — DRAM base/limit style).
+        """
+        per = self.frames_per_node
+        return node * per, (node + 1) * per
+
+    # --- state transitions, each validating its precondition -----------------
+    def mark_allocated(self, pfn: int, owner: int) -> None:
+        if self.state[pfn] == FrameState.ALLOCATED:
+            raise ValueError(f"frame {pfn} already allocated (double alloc)")
+        self.state[pfn] = FrameState.ALLOCATED
+        self.owner[pfn] = owner
+
+    def mark_colored_free(self, pfn: int) -> None:
+        if self.state[pfn] == FrameState.COLORED_FREE:
+            raise ValueError(f"frame {pfn} already on a color list")
+        self.state[pfn] = FrameState.COLORED_FREE
+        self.owner[pfn] = -1
+
+    def mark_buddy(self, pfn: int) -> None:
+        self.state[pfn] = FrameState.BUDDY
+        self.owner[pfn] = -1
+
+    def counts(self) -> dict[str, int]:
+        """Frame counts per state (for invariant checks and stats)."""
+        values, counts = np.unique(self.state, return_counts=True)
+        by_state = dict(zip(values.tolist(), counts.tolist()))
+        return {
+            "buddy": by_state.get(int(FrameState.BUDDY), 0),
+            "colored_free": by_state.get(int(FrameState.COLORED_FREE), 0),
+            "allocated": by_state.get(int(FrameState.ALLOCATED), 0),
+        }

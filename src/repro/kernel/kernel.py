@@ -1,0 +1,219 @@
+"""Kernel facade: boot, tasks, processes, syscalls, demand paging.
+
+Boot mirrors the paper: the address mapping is **re-derived from the
+simulated PCI registers** (not taken from the preset directly), then the
+frame pool and per-node buddy allocators are initialised with all memory
+on the buddy free lists and the 128x32 color matrix empty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.kernel import mmapi
+from repro.kernel.pagealloc import PageAllocator
+from repro.kernel.frame import FramePool
+from repro.kernel.task import TaskStruct
+from repro.kernel.vm import AddressSpace, Vma
+from repro.machine.pci import probe_address_mapping
+from repro.machine.presets import MachineSpec
+
+
+class OutOfMemory(Exception):
+    """No frame can satisfy an uncolored allocation."""
+
+
+class OutOfColoredMemory(Exception):
+    """No frame of the requested color set is left (paper: mmap error)."""
+
+
+@dataclass
+class Process:
+    """A user process: an address space shared by its tasks."""
+
+    pid: int
+    address_space: AddressSpace
+    tasks: list[TaskStruct] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class FaultCharge:
+    """Cost accounting for one demand fault (consumed by the simulator)."""
+
+    base_ns: float
+    refill_ns: float
+
+    @property
+    def total_ns(self) -> float:
+        return self.base_ns + self.refill_ns
+
+
+class Kernel:
+    """The simulated OS kernel.
+
+    Args:
+        machine: full machine description (topology + PCI register file).
+        fault_base_ns: cost of a minor page fault (trap + buddy pop).
+        refill_block_ns: extra cost per buddy block examined/shattered
+            during a colored allocation — the paper's "overhead of colored
+            allocations is higher for the first heap requests".
+        aged: when True, boot into an *aged-system* state: all free memory
+            fragmented into randomly ordered order-0 frames (see
+            :meth:`~repro.kernel.buddy.BuddyAllocator.fragment`).  Default
+            for experiments; pristine boot is the default for unit tests.
+        age_seed: seed for the aging shuffle (per-rep variation of buddy
+            layouts, the source of the paper's buddy error bars).
+    """
+
+    def __init__(
+        self,
+        machine: MachineSpec,
+        fault_base_ns: float = 1200.0,
+        refill_block_ns: float = 150.0,
+        aged: bool = False,
+        age_seed: int = 0,
+    ) -> None:
+        self.machine = machine
+        self.topology = machine.topology
+        # Boot-time PCI probe, as in the paper (§III-A).
+        self.mapping = probe_address_mapping(machine.pci)
+        if self.mapping != machine.mapping:
+            raise RuntimeError("PCI probe disagrees with machine description")
+        self.pool = FramePool(self.mapping)
+        self.page_allocator = PageAllocator(self.pool, self.topology)
+        if aged:
+            self._age_system(age_seed)
+        self.fault_base_ns = fault_base_ns
+        self.refill_block_ns = refill_block_ns
+        self.tasks: dict[int, TaskStruct] = {}
+        self.processes: dict[int, Process] = {}
+        self._next_tid = 1
+        self._next_pid = 1
+        #: cost of the most recent fault, read by the simulation engine.
+        self.last_fault_charge: FaultCharge | None = None
+
+    def _age_system(self, seed: int) -> None:
+        """Fragment every node's free lists into shuffled order-0 frames."""
+        from repro.util.rng import RngStream
+
+        for node, buddy in enumerate(self.page_allocator.node_buddies):
+            rng = RngStream(seed, "age", node)
+            lo, hi = self.pool.node_frame_range(node)
+            order = rng.permutation(hi - lo) + lo
+            buddy.fragment(order.tolist())
+
+    # ------------------------------------------------------------------ tasks
+    def create_process(self) -> Process:
+        space = AddressSpace(
+            page_bits=self.mapping.page_bits, fault_handler=self._handle_fault
+        )
+        proc = Process(pid=self._next_pid, address_space=space)
+        self._next_pid += 1
+        self.processes[proc.pid] = proc
+        return proc
+
+    def create_task(self, process: Process, core: int) -> TaskStruct:
+        """Spawn a task pinned to ``core`` (paper assumption: static pins)."""
+        self.topology._check_core(core)
+        task = TaskStruct(tid=self._next_tid, core=core)
+        self._next_tid += 1
+        self.tasks[task.tid] = task
+        process.tasks.append(task)
+        return task
+
+    # ------------------------------------------------------------------ mmap
+    #: order of a 2 MiB huge page with 4 KiB base pages.
+    HUGE_PAGE_ORDER = 9
+
+    def sys_mmap(
+        self,
+        task: TaskStruct,
+        addr: int,
+        length: int,
+        prot: int,
+        label: str = "",
+        huge: bool = False,
+    ) -> int | Vma:
+        """The modified ``mmap()`` system call.
+
+        Zero-length + :data:`~repro.kernel.mmapi.COLOR_ALLOC` in ``prot``:
+        color directive — updates the calling task's TCB and returns 0.
+        Otherwise: create an anonymous demand-paged mapping and return its
+        :class:`~repro.kernel.vm.Vma`.  ``huge=True`` requests 2 MiB pages
+        (a specially mounted memory device in the paper's terms); huge
+        allocations are order > 0 and therefore NEVER colored (§III-C).
+        """
+        if length == 0 and (prot & mmapi.COLOR_ALLOC):
+            mode, color = mmapi.decode_directive(addr)
+            if mode == mmapi.MODE_SET_MEM:
+                if not 0 <= color < self.mapping.num_bank_colors:
+                    raise ValueError(f"bank color {color} out of range")
+                task.add_mem_color(color)
+            elif mode == mmapi.MODE_SET_LLC:
+                if not 0 <= color < self.mapping.num_llc_colors:
+                    raise ValueError(f"LLC color {color} out of range")
+                task.add_llc_color(color)
+            elif mode == mmapi.MODE_CLEAR_MEM:
+                task.clear_mem_colors()
+            elif mode == mmapi.MODE_CLEAR_LLC:
+                task.clear_llc_colors()
+            else:
+                raise ValueError(f"unknown color directive mode {mode}")
+            return 0
+        process = self._process_of(task)
+        return process.address_space.map_region(
+            length, prot, label=label,
+            page_order=self.HUGE_PAGE_ORDER if huge else 0,
+        )
+
+    def sys_munmap(self, task: TaskStruct, vma: Vma) -> None:
+        """Unmap a region, returning its frames to the free pools."""
+        process = self._process_of(task)
+        released = process.address_space.unmap_region(vma)
+        if vma.page_order:
+            # Huge mappings release whole aligned blocks.
+            step = 1 << vma.page_order
+            for base in sorted(released)[::step]:
+                owner = self.tasks.get(int(self.pool.owner[base]))
+                self.page_allocator.free_pages(
+                    owner if owner else task, base, vma.page_order
+                )
+            return
+        for pfn in released:
+            owner = self.tasks.get(int(self.pool.owner[pfn]))
+            self.page_allocator.free_pages(owner if owner else task, pfn, 0)
+
+    # ------------------------------------------------------------------ faults
+    def _handle_fault(self, task: TaskStruct, vpn: int, order: int = 0) -> int:
+        """Demand fault: allocate frames under the faulting task's policy.
+
+        ``order`` > 0 (huge mappings) always takes the plain buddy path —
+        Algorithm 1 only colors order-0 requests.
+        """
+        outcome = self.page_allocator.alloc_pages(task, order=order)
+        if outcome is None:
+            if order == 0 and task.colored:
+                raise OutOfColoredMemory(
+                    f"task {task.tid}: no free page for mem_colors="
+                    f"{task.mem_colors} llc_colors={task.llc_colors}"
+                )
+            raise OutOfMemory(f"task {task.tid}: physical memory exhausted")
+        self.last_fault_charge = FaultCharge(
+            base_ns=self.fault_base_ns,
+            refill_ns=self.refill_block_ns * outcome.refills,
+        )
+        return outcome.pfn
+
+    def _process_of(self, task: TaskStruct) -> Process:
+        for proc in self.processes.values():
+            if task in proc.tasks:
+                return proc
+        raise ValueError(f"task {task.tid} belongs to no process")
+
+    # ------------------------------------------------------------------ stats
+    def memory_stats(self) -> dict[str, int]:
+        stats = self.pool.counts()
+        stats["colored_allocs"] = self.page_allocator.colored_allocs
+        stats["normal_allocs"] = self.page_allocator.normal_allocs
+        stats["refill_blocks"] = self.page_allocator.refill_blocks
+        return stats

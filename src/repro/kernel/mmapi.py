@@ -1,0 +1,72 @@
+"""The ``mmap()`` system-call ABI, including TintMalloc's color control.
+
+Paper §III-B: *"We modified mmap() so that a zero-sized request is
+interpreted as the specification of color(s) by the calling thread ... a
+set bit 30 of the protection argument indicates that the first argument
+should be interpreted as the color and a mode, where the most significant
+bits specify the mode."*
+
+Encoding used here (documented, since the paper doesn't spell out bit
+positions of the mode):
+
+* ``prot`` bit 30 (:data:`COLOR_ALLOC`) selects the color-control path
+  (only honoured when ``length == 0``).
+* first argument = ``mode << MODE_SHIFT | color`` with modes
+  :data:`MODE_SET_MEM`, :data:`MODE_SET_LLC`, :data:`MODE_CLEAR_MEM`,
+  :data:`MODE_CLEAR_LLC`.  CLEAR modes ignore the color value.
+
+The helpers :func:`set_mem_color` etc. build the first argument, so the
+user-facing call is exactly the paper's one-liner::
+
+    addr = kernel.sys_mmap(task, set_llc_color(c), 0, PROT_RW | COLOR_ALLOC)
+"""
+
+from __future__ import annotations
+
+#: Protection bits (subset of POSIX).
+PROT_READ = 0x1
+PROT_WRITE = 0x2
+PROT_RW = PROT_READ | PROT_WRITE
+
+#: Bit 30 of ``prot``: interpret a zero-length mmap as a color directive.
+COLOR_ALLOC = 1 << 30
+
+MODE_SHIFT = 24
+MODE_MASK = 0xF << MODE_SHIFT
+COLOR_MASK = (1 << MODE_SHIFT) - 1
+
+MODE_SET_MEM = 0x1
+MODE_SET_LLC = 0x2
+MODE_CLEAR_MEM = 0x3
+MODE_CLEAR_LLC = 0x4
+
+
+def _directive(mode: int, color: int = 0) -> int:
+    if color < 0 or color > COLOR_MASK:
+        raise ValueError(f"color {color} out of encodable range")
+    return (mode << MODE_SHIFT) | color
+
+
+def set_mem_color(color: int) -> int:
+    """First-argument value adding one memory (controller/bank) color."""
+    return _directive(MODE_SET_MEM, color)
+
+
+def set_llc_color(color: int) -> int:
+    """First-argument value adding one LLC color."""
+    return _directive(MODE_SET_LLC, color)
+
+
+def clear_mem_color() -> int:
+    """First-argument value clearing all memory colors (back to default)."""
+    return _directive(MODE_CLEAR_MEM)
+
+
+def clear_llc_color() -> int:
+    """First-argument value clearing all LLC colors."""
+    return _directive(MODE_CLEAR_LLC)
+
+
+def decode_directive(value: int) -> tuple[int, int]:
+    """Split a color-control first argument into ``(mode, color)``."""
+    return (value & MODE_MASK) >> MODE_SHIFT, value & COLOR_MASK

@@ -1,0 +1,226 @@
+"""Colored page selection — the paper's Algorithm 1 around the buddy core.
+
+``alloc_pages(task, order)``:
+
+* order > 0, or an uncolored task: plain buddy allocation
+  (``normal_buddy_alloc``), local node first with nearest-node fallback —
+  Linux's default zonelist order.
+* order == 0 and the task has ``using_bank``/``using_llc`` set: serve from
+  ``color_list[MEM_ID][LLC_ID]``; while empty, pull the head buddy block of
+  increasing order and shatter it into the color lists
+  (``create_color_list``, Algorithm 2), then retry.  When no block can
+  yield a matching page: return None ("no more page of this color").
+
+Colored refills pull **only from nodes that can produce matching colors**:
+a bank-color constraint pins the node set directly; an LLC-only constraint
+starts at the task's local node (every node yields every LLC color).  This
+keeps refills bounded while remaining faithful — the paper's single global
+free list walk would visit the same blocks in a different order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kernel.buddy import MAX_ORDER, BuddyAllocator
+from repro.kernel.colorlist import ColorMatrix
+from repro.kernel.frame import FramePool, FrameState
+from repro.kernel.task import TaskStruct
+from repro.machine.topology import MachineTopology
+
+
+@dataclass(frozen=True)
+class AllocOutcome:
+    """Result of one ``alloc_pages`` call.
+
+    Attributes:
+        pfn: first frame of the allocated block.
+        order: block order (0 for colored pages).
+        colored: whether the colored path served it.
+        refills: buddy blocks shattered into color lists by this call —
+            the source of the paper's higher first-allocation overhead.
+    """
+
+    pfn: int
+    order: int
+    colored: bool
+    refills: int
+
+
+class PageAllocator:
+    """The kernel's page allocation front-end (buddy + color lists)."""
+
+    def __init__(
+        self,
+        pool: FramePool,
+        topology: MachineTopology,
+    ) -> None:
+        self.pool = pool
+        self.topology = topology
+        self.colors = ColorMatrix(pool)
+        per_node = pool.frames_per_node
+        self.node_buddies = [
+            BuddyAllocator(node * per_node, per_node)
+            for node in range(pool.mapping.num_nodes)
+        ]
+        # Stats.
+        self.colored_allocs = 0
+        self.normal_allocs = 0
+        self.refill_blocks = 0
+        self.failed_colored = 0
+
+    # ------------------------------------------------------------------ public
+    def alloc_pages(self, task: TaskStruct, order: int = 0) -> AllocOutcome | None:
+        """Algorithm 1 entry point; returns None when memory is exhausted."""
+        if order == 0 and (task.using_bank or task.using_llc):
+            return self._alloc_colored(task)
+        pfn = self._normal_buddy_alloc(task, order)
+        if pfn is None:
+            return None
+        self._mark_block_allocated(pfn, order, task)
+        self.normal_allocs += 1
+        return AllocOutcome(pfn=pfn, order=order, colored=False, refills=0)
+
+    def free_pages(self, task: TaskStruct, pfn: int, order: int = 0) -> None:
+        """Release a block.
+
+        Pages freed by colored tasks go back to the corresponding colored
+        free lists (paper §III-C); everything else returns to the buddy.
+        """
+        if self.pool.state[pfn] != FrameState.ALLOCATED:
+            raise ValueError(f"freeing non-allocated frame {pfn}")
+        task.pages_freed += 1 << order
+        if order == 0 and (task.using_bank or task.using_llc):
+            self.pool.mark_buddy(pfn)  # reset state before push validates
+            self.colors.push(pfn)
+            return
+        for f in range(pfn, pfn + (1 << order)):
+            self.pool.mark_buddy(f)
+        node = self.pool.node_of_frame(pfn)
+        self.node_buddies[node].free(pfn, order)
+
+    # ------------------------------------------------------------------ colored
+    def _alloc_colored(self, task: TaskStruct) -> AllocOutcome | None:
+        mem_c = task.mem_constraint()
+        llc_c = task.llc_constraint()
+        refills = 0
+
+        if mem_c is not None:
+            pfn, refills = self._pop_or_refill(task, mem_c, llc_c)
+        else:
+            # LLC-only coloring: no bank constraint.  Like Linux's
+            # zone-local allocation, exhaust the local node (including
+            # refilling from its buddy lists) before taking remote frames —
+            # locality is then best-effort, not guaranteed, which is
+            # precisely what MEM coloring adds on top.
+            pfn = None
+            nodes = sorted(
+                range(self.pool.mapping.num_nodes),
+                key=lambda n: self.topology.hops(task.core, n),
+            )
+            for node in nodes:
+                node_colors = list(self.pool.mapping.bank_colors_of_node(node))
+                pfn, extra = self._pop_or_refill(
+                    task, node_colors, llc_c, restrict_nodes=[node]
+                )
+                refills += extra
+                if pfn is not None:
+                    break
+
+        if pfn is None:
+            self.failed_colored += 1
+            return None
+        self.pool.mark_allocated(pfn, task.tid)
+        task.pages_allocated += 1
+        task.colored_allocations += 1
+        task.color_list_refills += refills
+        self.colored_allocs += 1
+        return AllocOutcome(pfn=pfn, order=0, colored=True, refills=refills)
+
+    def _pop_or_refill(
+        self,
+        task: TaskStruct,
+        mem_colors: list[int],
+        llc_colors: list[int] | None,
+        restrict_nodes: list[int] | None = None,
+    ) -> tuple[int | None, int]:
+        """Pop a matching frame, refilling color lists from buddy blocks
+        (Algorithm 2) until one matches or the candidate nodes run dry.
+
+        Order-0 buddy frames (the common case on an aged system) are
+        checked against the constraints directly — only non-matching ones
+        are filed into the color lists for later requesters.
+        """
+        refills = 0
+        pfn = self.colors.pop_matching(mem_colors, llc_colors)
+        if pfn is not None:
+            return pfn, refills
+        mem_set = set(mem_colors)
+        llc_set = set(llc_colors) if llc_colors is not None else None
+        while True:
+            block = self._pull_refill_block(task, mem_colors, restrict_nodes)
+            if block is None:
+                return None, refills
+            start, order = block
+            refills += 1
+            self.refill_blocks += 1
+            if order == 0:
+                if int(self.pool.bank_color[start]) in mem_set and (
+                    llc_set is None
+                    or int(self.pool.llc_color[start]) in llc_set
+                ):
+                    return start, refills
+                self.colors.push(start)
+                continue
+            # Algorithm 2: shatter the buddy block into the color lists.
+            self.colors.push_block(start, order)
+            pfn = self.colors.pop_matching(mem_colors, llc_colors)
+            if pfn is not None:
+                return pfn, refills
+
+    def _pull_refill_block(
+        self,
+        task: TaskStruct,
+        mem_colors: list[int],
+        restrict_nodes: list[int] | None = None,
+    ) -> tuple[int, int] | None:
+        """Take the head buddy block of the smallest non-empty order from a
+        node that can produce matching colors."""
+        if restrict_nodes is not None:
+            nodes = restrict_nodes
+        else:
+            per = self.pool.mapping.bank_colors_per_node
+            candidates = {color // per for color in mem_colors}
+            nodes = sorted(
+                candidates,
+                key=lambda n: (self.topology.hops(task.core, n), n),
+            )
+        for order in range(0, MAX_ORDER + 1):
+            for node in nodes:
+                start = self.node_buddies[node].pop_head(order)
+                if start is not None:
+                    return start, order
+        return None
+
+    # ------------------------------------------------------------------ normal
+    def _normal_buddy_alloc(self, task: TaskStruct, order: int) -> int | None:
+        """Default Linux behaviour: local node, then nearest-first fallback."""
+        nodes = sorted(
+            range(self.pool.mapping.num_nodes),
+            key=lambda n: self.topology.hops(task.core, n),
+        )
+        for node in nodes:
+            pfn = self.node_buddies[node].alloc(order)
+            if pfn is not None:
+                return pfn
+        return None
+
+    def _mark_block_allocated(self, pfn: int, order: int, task: TaskStruct) -> None:
+        for f in range(pfn, pfn + (1 << order)):
+            self.pool.mark_allocated(f, task.tid)
+        task.pages_allocated += 1 << order
+
+    # ------------------------------------------------------------------ info
+    def free_frames_total(self) -> int:
+        buddy = sum(b.free_frames() for b in self.node_buddies)
+        return buddy + self.colors.total_free

@@ -1,0 +1,67 @@
+"""Task control blocks (Linux ``task_struct`` analogue).
+
+A task carries the TintMalloc state the paper adds to the TCB: the owned
+memory (controller/bank) colors, the owned LLC colors, and the two policy
+flags ``using_bank`` / ``using_llc`` consulted by Algorithm 1.  Threads and
+processes are handled uniformly as tasks, as in Linux.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TaskStruct:
+    """One schedulable task.
+
+    Attributes:
+        tid: unique task id.
+        core: the core this task is pinned to (the paper pins all threads).
+        mem_colors: owned bank colors (ordered, duplicate-free).
+        llc_colors: owned LLC colors (ordered, duplicate-free).
+        using_bank: Algorithm 1 flag — constrain allocations by bank color.
+        using_llc: Algorithm 1 flag — constrain allocations by LLC color.
+    """
+
+    tid: int
+    core: int
+    mem_colors: list[int] = field(default_factory=list)
+    llc_colors: list[int] = field(default_factory=list)
+    using_bank: bool = False
+    using_llc: bool = False
+    # Allocation statistics.
+    pages_allocated: int = 0
+    pages_freed: int = 0
+    colored_allocations: int = 0
+    color_list_refills: int = 0
+
+    # --- color management (driven by the mmap() ABI) --------------------------
+    def add_mem_color(self, color: int) -> None:
+        if color not in self.mem_colors:
+            self.mem_colors.append(color)
+        self.using_bank = True
+
+    def add_llc_color(self, color: int) -> None:
+        if color not in self.llc_colors:
+            self.llc_colors.append(color)
+        self.using_llc = True
+
+    def clear_mem_colors(self) -> None:
+        self.mem_colors.clear()
+        self.using_bank = False
+
+    def clear_llc_colors(self) -> None:
+        self.llc_colors.clear()
+        self.using_llc = False
+
+    @property
+    def colored(self) -> bool:
+        return self.using_bank or self.using_llc
+
+    def mem_constraint(self) -> list[int] | None:
+        """Bank-color constraint for Algorithm 1 (None = unconstrained)."""
+        return self.mem_colors if self.using_bank else None
+
+    def llc_constraint(self) -> list[int] | None:
+        return self.llc_colors if self.using_llc else None

@@ -1,0 +1,144 @@
+"""Virtual memory: VMAs, page tables, demand paging.
+
+One :class:`AddressSpace` is shared by all threads of a process (the
+OpenMP model).  Pages are allocated lazily at first touch by the *faulting*
+task — which is what makes both Linux's first-touch policy and TintMalloc's
+per-task coloring observable: the thread that touches a page first
+determines its frame's node/colors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.task import TaskStruct
+
+#: Base of the mmap area (mirrors the x86-64 userspace layout loosely).
+MMAP_BASE = 0x7000_0000_0000
+
+
+class PageFault(Exception):
+    """Raised on access to an unmapped virtual address (a true SIGSEGV;
+    demand-paging faults are handled internally and do not raise)."""
+
+
+@dataclass(frozen=True)
+class Vma:
+    """One virtual memory area (an ``mmap`` mapping).
+
+    ``page_order`` > 0 marks a huge-page mapping: faults populate naturally
+    aligned ``2**page_order``-frame blocks.  TintMalloc colors only
+    order-0 allocations (paper §III-C), so huge mappings always come from
+    the plain buddy path.
+    """
+
+    start: int
+    length: int
+    prot: int
+    label: str = ""
+    page_order: int = 0
+
+    @property
+    def end(self) -> int:
+        return self.start + self.length
+
+    def contains(self, vaddr: int) -> bool:
+        return self.start <= vaddr < self.end
+
+
+@dataclass
+class AddressSpace:
+    """Page table plus VMA list for one process.
+
+    Args:
+        page_bits: log2 of the base page size.
+        fault_handler: callback ``(task, vpn, order) -> base_pfn`` invoked
+            on demand faults; wired to the kernel's policy-aware
+            allocator.  ``order`` is the VMA's page order; the returned
+            block starts at ``base_pfn`` and covers ``2**order`` frames.
+    """
+
+    page_bits: int
+    fault_handler: Callable[["TaskStruct", int, int], int]
+    vmas: list[Vma] = field(default_factory=list)
+    page_table: dict[int, int] = field(default_factory=dict)
+    #: task id that first touched each vpn (diagnostics / experiments).
+    first_toucher: dict[int, int] = field(default_factory=dict)
+    _next_base: int = MMAP_BASE
+    faults: int = 0
+
+    # ------------------------------------------------------------------ vmas
+    def map_region(
+        self, length: int, prot: int = 0x3, label: str = "",
+        page_order: int = 0,
+    ) -> Vma:
+        """Create an anonymous demand-paged mapping; returns its VMA.
+
+        ``page_order`` > 0 requests huge pages: the length and base are
+        rounded/aligned to the huge page size.
+        """
+        if length <= 0:
+            raise ValueError("mapping length must be positive")
+        if page_order < 0:
+            raise ValueError("page_order must be non-negative")
+        unit = 1 << (self.page_bits + page_order)
+        length = (length + unit - 1) // unit * unit
+        base = (self._next_base + unit - 1) // unit * unit
+        vma = Vma(start=base, length=length, prot=prot, label=label,
+                  page_order=page_order)
+        self._next_base = base + length + (1 << self.page_bits)  # guard page
+        self.vmas.append(vma)
+        return vma
+
+    def unmap_region(self, vma: Vma) -> list[int]:
+        """Remove a VMA; returns the pfns of its populated pages."""
+        self.vmas.remove(vma)
+        released = []
+        for vpn in range(vma.start >> self.page_bits, vma.end >> self.page_bits):
+            pfn = self.page_table.pop(vpn, None)
+            self.first_toucher.pop(vpn, None)
+            if pfn is not None:
+                released.append(pfn)
+        return released
+
+    def vma_of(self, vaddr: int) -> Vma | None:
+        for vma in self.vmas:
+            if vma.contains(vaddr):
+                return vma
+        return None
+
+    # ------------------------------------------------------------------ access
+    def translate(self, vaddr: int, task: "TaskStruct") -> tuple[int, bool]:
+        """Translate ``vaddr``, faulting a page in if needed.
+
+        Returns ``(paddr, faulted)``.  Raises :class:`PageFault` outside
+        any VMA.
+        """
+        vpn = vaddr >> self.page_bits
+        pfn = self.page_table.get(vpn)
+        if pfn is not None:
+            return (pfn << self.page_bits) | (
+                vaddr & ((1 << self.page_bits) - 1)
+            ), False
+        vma = self.vma_of(vaddr)
+        if vma is None:
+            raise PageFault(f"access to unmapped address {vaddr:#x}")
+        order = vma.page_order
+        base_vpn = vpn & ~((1 << order) - 1)
+        base_pfn = self.fault_handler(task, base_vpn, order)
+        for i in range(1 << order):
+            self.page_table[base_vpn + i] = base_pfn + i
+            self.first_toucher[base_vpn + i] = task.tid
+        self.faults += 1
+        pfn = base_pfn + (vpn - base_vpn)
+        return (pfn << self.page_bits) | (vaddr & ((1 << self.page_bits) - 1)), True
+
+    def populated_pages(self) -> Iterator[tuple[int, int]]:
+        """Yield (vpn, pfn) pairs currently mapped."""
+        yield from self.page_table.items()
+
+    @property
+    def resident_pages(self) -> int:
+        return len(self.page_table)

@@ -1,0 +1,32 @@
+"""Hardware machine model: NUMA topology, physical address mapping, PCI.
+
+This package captures everything TintMalloc needs to know about the
+platform: how cores map to sockets and memory nodes (controllers), how a
+physical address decodes into (node, channel, rank, bank, row) per the
+platform's bit-level mapping, and the PCI register file from which that
+mapping is derived at boot — mirroring the paper's boot-time probe
+(§III-A).
+"""
+
+from repro.machine.address import AddressMapping, PhysicalLocation
+from repro.machine.pci import PciConfigSpace, probe_address_mapping
+from repro.machine.presets import (
+    opteron_4s,
+    opteron_6128,
+    opteron_6128_scaled,
+    tiny_machine,
+)
+from repro.machine.topology import CacheGeometry, MachineTopology
+
+__all__ = [
+    "AddressMapping",
+    "PhysicalLocation",
+    "PciConfigSpace",
+    "probe_address_mapping",
+    "MachineTopology",
+    "CacheGeometry",
+    "opteron_4s",
+    "opteron_6128",
+    "opteron_6128_scaled",
+    "tiny_machine",
+]

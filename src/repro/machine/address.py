@@ -1,0 +1,369 @@
+"""Bit-level physical address mapping (paper §III-A, Fig. 5).
+
+A memory controller decodes a physical address into *node (controller),
+channel, rank, bank, row, column* via fixed bit fields.  TintMalloc's bank
+color of a physical page is (Eq. 1):
+
+    bc = ((node*NC + channel)*NR + rank)*NB + bank
+
+(the paper's formula prints ``node*NN*NC`` but dimensional analysis and the
+stated color count — 4 nodes x 2 channels x 2 ranks x 8 banks = 128 colors —
+require the mixed-radix form above; we follow the color count).
+
+The LLC color is a separate slice of set-index bits that lie inside the
+page frame number (bits 12-16 on the Opteron 6128, 32 colors), so the OS
+can choose it by frame selection.
+
+:class:`AddressMapping` supports *arbitrary, possibly non-contiguous* bit
+positions per DRAM field, as on real parts where e.g. the bank lives in
+bits 15, 16 and 18.  DRAM field positions must be mutually disjoint; the
+LLC color slice may overlap them (caches index independently of DRAM).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.util.intmath import is_power_of_two, log2_exact, mask
+
+#: Decode order used by the controller and by Eq. (1)'s mixed radix.
+DRAM_FIELDS = ("node", "channel", "rank", "bank")
+
+
+@dataclass(frozen=True)
+class PhysicalLocation:
+    """Fully decoded DRAM coordinates of a physical address."""
+
+    node: int
+    channel: int
+    rank: int
+    bank: int
+    row: int
+
+    def as_tuple(self) -> tuple[int, int, int, int, int]:
+        return (self.node, self.channel, self.rank, self.bank, self.row)
+
+
+def _field_extractor(positions: tuple[int, ...]):
+    """Build masks/shifts to gather scattered bit ``positions`` (LSB-first)."""
+    return tuple((1 << p, p, i) for i, p in enumerate(positions))
+
+
+@dataclass(frozen=True)
+class AddressMapping:
+    """Physical address codec for one platform.
+
+    Attributes:
+        total_bits: physical address width; memory size is ``2**total_bits``.
+        line_bits: log2 of the cache line size.
+        page_bits: log2 of the page size (4 KiB -> 12).
+        fields: DRAM field name -> bit positions, LSB of the field first.
+            Keys must be exactly ``node, channel, rank, bank``.
+        llc_color_positions: bit positions forming the LLC color.
+        row_bits_start: physical bit where the DRAM row number begins; bits
+            from there up to ``total_bits`` (excluding any field bits) form
+            the row.  Rows only matter for row-buffer hit/miss decisions.
+    """
+
+    total_bits: int
+    line_bits: int
+    page_bits: int
+    fields: Mapping[str, tuple[int, ...]]
+    llc_color_positions: tuple[int, ...]
+    row_bits_start: int = 0  # 0 means "first bit above all field bits"
+
+    def __post_init__(self) -> None:
+        if set(self.fields) != set(DRAM_FIELDS):
+            raise ValueError(
+                f"fields must be exactly {DRAM_FIELDS}, got {tuple(self.fields)}"
+            )
+        seen: set[int] = set()
+        for name, positions in self.fields.items():
+            for p in positions:
+                if not 0 <= p < self.total_bits:
+                    raise ValueError(f"{name} bit {p} outside address width")
+                if p in seen:
+                    raise ValueError(f"bit {p} used by two DRAM fields")
+                seen.add(p)
+        for p in self.llc_color_positions:
+            if not 0 <= p < self.total_bits:
+                raise ValueError(f"LLC color bit {p} outside address width")
+        object.__setattr__(self, "fields", dict(self.fields))
+        # Row: bits above the highest field bit, by default.
+        start = self.row_bits_start or (max(seen) + 1 if seen else self.page_bits)
+        object.__setattr__(self, "row_bits_start", start)
+
+    # --- widths / counts ------------------------------------------------------
+    def field_width(self, name: str) -> int:
+        return len(self.fields[name])
+
+    @property
+    def num_nodes(self) -> int:
+        return 1 << self.field_width("node")
+
+    @property
+    def num_channels(self) -> int:
+        return 1 << self.field_width("channel")
+
+    @property
+    def num_ranks(self) -> int:
+        return 1 << self.field_width("rank")
+
+    @property
+    def num_banks(self) -> int:
+        return 1 << self.field_width("bank")
+
+    @property
+    def num_bank_colors(self) -> int:
+        """Total bank colors = nodes*channels*ranks*banks (128 on Opteron)."""
+        return (
+            self.num_nodes * self.num_channels * self.num_ranks * self.num_banks
+        )
+
+    @property
+    def num_llc_colors(self) -> int:
+        return 1 << len(self.llc_color_positions)
+
+    @property
+    def bank_colors_per_node(self) -> int:
+        return self.num_channels * self.num_ranks * self.num_banks
+
+    @property
+    def page_bytes(self) -> int:
+        return 1 << self.page_bits
+
+    @property
+    def line_bytes(self) -> int:
+        return 1 << self.line_bits
+
+    @property
+    def memory_bytes(self) -> int:
+        return 1 << self.total_bits
+
+    @property
+    def num_frames(self) -> int:
+        return 1 << (self.total_bits - self.page_bits)
+
+    # --- scalar decode ---------------------------------------------------------
+    def extract(self, paddr: int, name: str) -> int:
+        """Gather the scattered bits of DRAM field ``name`` from ``paddr``."""
+        value = 0
+        for i, p in enumerate(self.fields[name]):
+            value |= ((paddr >> p) & 1) << i
+        return value
+
+    def row_of(self, paddr: int) -> int:
+        """DRAM row number: the non-field bits above ``row_bits_start``.
+
+        Field bits interleaved above the row start are squeezed out so that
+        consecutive rows are consecutive integers.
+        """
+        row = 0
+        out = 0
+        field_bits = {p for ps in self.fields.values() for p in ps}
+        for p in range(self.row_bits_start, self.total_bits):
+            if p in field_bits:
+                continue
+            row |= ((paddr >> p) & 1) << out
+            out += 1
+        return row
+
+    def decode(self, paddr: int) -> PhysicalLocation:
+        self._check_paddr(paddr)
+        return PhysicalLocation(
+            node=self.extract(paddr, "node"),
+            channel=self.extract(paddr, "channel"),
+            rank=self.extract(paddr, "rank"),
+            bank=self.extract(paddr, "bank"),
+            row=self.row_of(paddr),
+        )
+
+    def bank_color(self, paddr: int) -> int:
+        """Eq. (1): mixed-radix color over (node, channel, rank, bank)."""
+        loc_node = self.extract(paddr, "node")
+        loc_ch = self.extract(paddr, "channel")
+        loc_rk = self.extract(paddr, "rank")
+        loc_bk = self.extract(paddr, "bank")
+        return self.compose_bank_color(loc_node, loc_ch, loc_rk, loc_bk)
+
+    def compose_bank_color(self, node: int, channel: int, rank: int, bank: int) -> int:
+        return (
+            (node * self.num_channels + channel) * self.num_ranks + rank
+        ) * self.num_banks + bank
+
+    def split_bank_color(self, color: int) -> tuple[int, int, int, int]:
+        """Inverse of :meth:`compose_bank_color` -> (node, channel, rank, bank)."""
+        if not 0 <= color < self.num_bank_colors:
+            raise ValueError(f"bank color {color} out of range")
+        bank = color % self.num_banks
+        color //= self.num_banks
+        rank = color % self.num_ranks
+        color //= self.num_ranks
+        channel = color % self.num_channels
+        node = color // self.num_channels
+        return node, channel, rank, bank
+
+    def node_of_bank_color(self, color: int) -> int:
+        return self.split_bank_color(color)[0]
+
+    def bank_colors_of_node(self, node: int) -> range:
+        """All bank colors whose frames live on ``node`` (contiguous range)."""
+        per = self.bank_colors_per_node
+        return range(node * per, (node + 1) * per)
+
+    def llc_color(self, paddr: int) -> int:
+        value = 0
+        for i, p in enumerate(self.llc_color_positions):
+            value |= ((paddr >> p) & 1) << i
+        return value
+
+    # --- color compatibility ----------------------------------------------------
+    def _field_bit_value(self, name: str, value: int, position: int) -> int:
+        """Bit at physical ``position`` implied by field ``name`` = ``value``."""
+        return (value >> self.fields[name].index(position)) & 1
+
+    def colors_compatible(self, bank_color: int, llc_color: int) -> bool:
+        """Whether any frame carries both ``bank_color`` and ``llc_color``.
+
+        When the bank field overlaps the LLC color bits (as on the Opteron,
+        where bank bits 15/16 lie inside LLC color bits 12-16), the two
+        colors must agree on the shared bits; pairs that disagree have no
+        physical frames, leaving the 128 x 32 color matrix structurally
+        sparse.
+        """
+        node, channel, rank, bank = self.split_bank_color(bank_color)
+        values = {"node": node, "channel": channel, "rank": rank, "bank": bank}
+        for i, p in enumerate(self.llc_color_positions):
+            for name, positions in self.fields.items():
+                if p in positions:
+                    if self._field_bit_value(name, values[name], p) != (
+                        (llc_color >> i) & 1
+                    ):
+                        return False
+        return True
+
+    def compatible_llc_colors(self, bank_color: int) -> tuple[int, ...]:
+        """All LLC colors with physical frames of ``bank_color``."""
+        return tuple(
+            lc
+            for lc in range(self.num_llc_colors)
+            if self.colors_compatible(bank_color, lc)
+        )
+
+    def compatible_bank_colors(
+        self, llc_color: int, node: int | None = None
+    ) -> tuple[int, ...]:
+        """All bank colors with physical frames of ``llc_color``, optionally
+        restricted to one memory node."""
+        colors = (
+            self.bank_colors_of_node(node)
+            if node is not None
+            else range(self.num_bank_colors)
+        )
+        return tuple(
+            bc for bc in colors if self.colors_compatible(bc, llc_color)
+        )
+
+    @property
+    def shared_color_bits(self) -> int:
+        """Number of LLC color bits also claimed by a DRAM field."""
+        field_bits = {p for ps in self.fields.values() for p in ps}
+        return sum(1 for p in self.llc_color_positions if p in field_bits)
+
+    def frames_per_combo(self) -> int:
+        """Frames carrying one *compatible* (bank color, LLC color) pair."""
+        field_bits = {p for ps in self.fields.values() for p in ps}
+        fixed = len(field_bits | set(self.llc_color_positions))
+        return 1 << (self.total_bits - self.page_bits - fixed)
+
+    # --- frame-level colors ------------------------------------------------------
+    def frame_colors_invariant(self) -> bool:
+        """True when every color bit lies at/above the page offset width.
+
+        Only then does "the color of a frame" make sense — which TintMalloc
+        requires.  Presets used for coloring must satisfy this.
+        """
+        positions = [p for ps in self.fields.values() for p in ps]
+        positions += list(self.llc_color_positions)
+        return all(p >= self.page_bits for p in positions)
+
+    def frame_bank_color(self, pfn: int) -> int:
+        return self.bank_color(pfn << self.page_bits)
+
+    def frame_llc_color(self, pfn: int) -> int:
+        return self.llc_color(pfn << self.page_bits)
+
+    # --- vectorised decode -------------------------------------------------------
+    def _gather_vec(self, paddrs: np.ndarray, positions: Iterable[int]) -> np.ndarray:
+        out = np.zeros(paddrs.shape, dtype=np.int64)
+        for i, p in enumerate(positions):
+            out |= ((paddrs >> p) & 1) << i
+        return out
+
+    def bank_color_vec(self, paddrs: np.ndarray) -> np.ndarray:
+        """Vectorised Eq. (1) over an int64 array of physical addresses."""
+        node = self._gather_vec(paddrs, self.fields["node"])
+        ch = self._gather_vec(paddrs, self.fields["channel"])
+        rk = self._gather_vec(paddrs, self.fields["rank"])
+        bk = self._gather_vec(paddrs, self.fields["bank"])
+        return (
+            (node * self.num_channels + ch) * self.num_ranks + rk
+        ) * self.num_banks + bk
+
+    def llc_color_vec(self, paddrs: np.ndarray) -> np.ndarray:
+        return self._gather_vec(paddrs, self.llc_color_positions)
+
+    def frame_color_table(self) -> tuple[np.ndarray, np.ndarray]:
+        """Precompute (bank_color, llc_color) for every frame in memory.
+
+        Returns two int64 arrays of length :attr:`num_frames`; the kernel
+        indexes these instead of decoding per allocation.
+        """
+        pfns = np.arange(self.num_frames, dtype=np.int64)
+        paddrs = pfns << self.page_bits
+        return self.bank_color_vec(paddrs), self.llc_color_vec(paddrs)
+
+    # --- compose -------------------------------------------------------------
+    def compose(
+        self, node: int, channel: int, rank: int, bank: int, rest: int
+    ) -> int:
+        """Build a physical address from DRAM coordinates plus ``rest``.
+
+        ``rest`` supplies, low bits first, the values of every address bit
+        *not* covered by a DRAM field (offset, row, and column bits).
+        Inverse of :meth:`decode` modulo row/column packing.
+        """
+        for name, value in (
+            ("node", node), ("channel", channel), ("rank", rank), ("bank", bank)
+        ):
+            if not 0 <= value < (1 << self.field_width(name)):
+                raise ValueError(f"{name}={value} out of range")
+        field_bits = {p for ps in self.fields.values() for p in ps}
+        paddr = 0
+        for value, name in ((node, "node"), (channel, "channel"), (rank, "rank"), (bank, "bank")):
+            for i, p in enumerate(self.fields[name]):
+                paddr |= ((value >> i) & 1) << p
+        in_bit = 0
+        for p in range(self.total_bits):
+            if p in field_bits:
+                continue
+            paddr |= ((rest >> in_bit) & 1) << p
+            in_bit += 1
+        if rest >> in_bit:
+            raise ValueError("rest value too large for free bits")
+        return paddr
+
+    def _check_paddr(self, paddr: int) -> None:
+        if not 0 <= paddr < self.memory_bytes:
+            raise ValueError(
+                f"physical address {paddr:#x} outside memory "
+                f"(size {self.memory_bytes:#x})"
+            )
+
+
+def contiguous(lo: int, width: int) -> tuple[int, ...]:
+    """Bit positions of a contiguous field: ``lo`` .. ``lo+width-1``."""
+    return tuple(range(lo, lo + width))

@@ -1,0 +1,189 @@
+"""Simulated PCI configuration space and the boot-time mapping probe.
+
+The paper derives the Opteron's address-translation bits at boot from PCI
+registers ("DRAM base/limit", "DRAM controller select low", "CS base
+address", "bank address mapping" — §III-A).  We mirror that code path: a
+:class:`PciConfigSpace` holds a register file encoding the platform's bit
+mapping, and :func:`probe_address_mapping` reconstructs an
+:class:`~repro.machine.address.AddressMapping` from the registers alone.
+
+The register encodings are a simplified, documented rendition of AMD
+family-10h function-2 registers — enough to exercise the real flow
+(hardware description -> registers -> derived mapping) without modelling
+every reserved bit.
+
+Register map (all 32-bit, little-endian semantics):
+
+==========  =================================================================
+offset      contents
+==========  =================================================================
+0x00        vendor/device id (0x1022 << 16 | 0x1200)
+0x40+4*i    DRAM_BASE[i]   — bits 7:0  = lowest *node* bit position,
+                             bits 15:8 = node field width (i = node id; all
+                             nodes report identical interleave geometry)
+0x60+4*i    DRAM_LIMIT[i]  — bits 7:0 = total physical address bits
+0x110       DCT_SELECT_LOW — bits 7:0 = lowest channel bit, 15:8 = width
+0x120+4*j   CS_BASE[j]     — bits 7:0 = j-th rank bit position (j < width
+                             from CS_MASK); unused entries read 0xFF
+0x140       CS_MASK        — bits 7:0 = rank width
+0x180+4*k   BANK_ADDR[k]   — bits 7:0 = k-th bank bit position; 0xFF unused
+0x1A0       BANK_CNT       — bits 7:0 = bank width
+0x1C0       LLC_MAP        — bits 7:0 = lowest LLC color bit, 15:8 = width
+0x1D0       PAGE_SHIFT     — bits 7:0 = page bits; 15:8 = line bits;
+                             bits 23:16 = row start bit (row granularity)
+==========  =================================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.machine.address import AddressMapping, contiguous
+
+VENDOR_AMD = 0x1022
+DEVICE_DRAM_CTL = 0x1200
+
+REG_ID = 0x00
+REG_DRAM_BASE = 0x40
+REG_DRAM_LIMIT = 0x60
+REG_DCT_SELECT_LOW = 0x110
+REG_CS_BASE = 0x120
+REG_CS_MASK = 0x140
+REG_BANK_ADDR = 0x180
+REG_BANK_CNT = 0x1A0
+REG_LLC_MAP = 0x1C0
+REG_PAGE_SHIFT = 0x1D0
+
+_UNUSED = 0xFF
+_MAX_SCATTER = 8  # max scattered bit positions encoded per field
+
+
+@dataclass
+class PciConfigSpace:
+    """A flat 32-bit register file addressed by byte offset."""
+
+    registers: dict[int, int] = field(default_factory=dict)
+
+    def read32(self, offset: int) -> int:
+        if offset % 4 != 0:
+            raise ValueError(f"unaligned PCI read at {offset:#x}")
+        return self.registers.get(offset, 0)
+
+    def write32(self, offset: int, value: int) -> None:
+        if offset % 4 != 0:
+            raise ValueError(f"unaligned PCI write at {offset:#x}")
+        if not 0 <= value < 2**32:
+            raise ValueError(f"register value {value:#x} not 32-bit")
+        self.registers[offset] = value
+
+
+def encode_config_space(mapping: AddressMapping) -> PciConfigSpace:
+    """Serialise an :class:`AddressMapping` into the PCI register file.
+
+    This plays the role of the BIOS: it programs the registers the kernel
+    later probes.  Node, channel and LLC fields must be contiguous (as on
+    the real part); rank and bank may be scattered.
+    """
+    pci = PciConfigSpace()
+    pci.write32(REG_ID, (VENDOR_AMD << 16) | DEVICE_DRAM_CTL)
+
+    def require_contiguous(name: str) -> tuple[int, int]:
+        positions = mapping.fields[name]
+        lo, width = positions[0], len(positions)
+        if tuple(positions) != contiguous(lo, width):
+            raise ValueError(f"{name} field must be contiguous for PCI encoding")
+        return lo, width
+
+    node_lo, node_w = require_contiguous("node")
+    for node in range(mapping.num_nodes):
+        pci.write32(REG_DRAM_BASE + 4 * node, node_lo | (node_w << 8))
+        pci.write32(REG_DRAM_LIMIT + 4 * node, mapping.total_bits)
+
+    ch_lo, ch_w = require_contiguous("channel")
+    pci.write32(REG_DCT_SELECT_LOW, ch_lo | (ch_w << 8))
+
+    rank_positions = mapping.fields["rank"]
+    if len(rank_positions) > _MAX_SCATTER:
+        raise ValueError("rank field too wide for PCI encoding")
+    pci.write32(REG_CS_MASK, len(rank_positions))
+    for j in range(_MAX_SCATTER):
+        value = rank_positions[j] if j < len(rank_positions) else _UNUSED
+        pci.write32(REG_CS_BASE + 4 * j, value)
+
+    bank_positions = mapping.fields["bank"]
+    if len(bank_positions) > _MAX_SCATTER:
+        raise ValueError("bank field too wide for PCI encoding")
+    pci.write32(REG_BANK_CNT, len(bank_positions))
+    for k in range(_MAX_SCATTER):
+        value = bank_positions[k] if k < len(bank_positions) else _UNUSED
+        pci.write32(REG_BANK_ADDR + 4 * k, value)
+
+    llc = mapping.llc_color_positions
+    llc_lo, llc_w = llc[0], len(llc)
+    if tuple(llc) != contiguous(llc_lo, llc_w):
+        raise ValueError("LLC color bits must be contiguous for PCI encoding")
+    pci.write32(REG_LLC_MAP, llc_lo | (llc_w << 8))
+    pci.write32(
+        REG_PAGE_SHIFT,
+        mapping.page_bits
+        | (mapping.line_bits << 8)
+        | (mapping.row_bits_start << 16),
+    )
+    return pci
+
+
+def probe_address_mapping(pci: PciConfigSpace) -> AddressMapping:
+    """Reconstruct the platform address mapping from PCI registers.
+
+    The kernel calls this during late boot (paper: "TintMalloc is activated
+    in the late phase of booting Linux at which time the bit-level
+    information above is derived from PCI registers").
+    """
+    ident = pci.read32(REG_ID)
+    if ident >> 16 != VENDOR_AMD:
+        raise RuntimeError(
+            f"unsupported DRAM controller vendor {ident >> 16:#06x}; "
+            "bit-level mapping unavailable (cf. paper on undisclosed mappings)"
+        )
+
+    base0 = pci.read32(REG_DRAM_BASE)
+    node_lo, node_w = base0 & 0xFF, (base0 >> 8) & 0xFF
+    total_bits = pci.read32(REG_DRAM_LIMIT) & 0xFF
+    # Sanity: every node must agree on interleave geometry.
+    for node in range(1 << node_w):
+        if pci.read32(REG_DRAM_BASE + 4 * node) != base0:
+            raise RuntimeError(f"node {node} reports divergent DRAM base register")
+
+    dct = pci.read32(REG_DCT_SELECT_LOW)
+    ch_lo, ch_w = dct & 0xFF, (dct >> 8) & 0xFF
+
+    rank_w = pci.read32(REG_CS_MASK) & 0xFF
+    rank_positions = tuple(
+        pci.read32(REG_CS_BASE + 4 * j) & 0xFF for j in range(rank_w)
+    )
+    bank_w = pci.read32(REG_BANK_CNT) & 0xFF
+    bank_positions = tuple(
+        pci.read32(REG_BANK_ADDR + 4 * k) & 0xFF for k in range(bank_w)
+    )
+    if _UNUSED in rank_positions or _UNUSED in bank_positions:
+        raise RuntimeError("CS base / bank address registers under-populated")
+
+    llc = pci.read32(REG_LLC_MAP)
+    llc_lo, llc_w = llc & 0xFF, (llc >> 8) & 0xFF
+    shifts = pci.read32(REG_PAGE_SHIFT)
+    page_bits, line_bits = shifts & 0xFF, (shifts >> 8) & 0xFF
+    row_bits_start = (shifts >> 16) & 0xFF
+
+    return AddressMapping(
+        total_bits=total_bits,
+        line_bits=line_bits,
+        page_bits=page_bits,
+        fields={
+            "node": contiguous(node_lo, node_w),
+            "channel": contiguous(ch_lo, ch_w),
+            "rank": rank_positions,
+            "bank": bank_positions,
+        },
+        llc_color_positions=contiguous(llc_lo, llc_w),
+        row_bits_start=row_bits_start,
+    )

@@ -1,0 +1,245 @@
+"""Canned machine descriptions.
+
+:func:`opteron_6128` models the paper's platform (§IV): dual-socket AMD
+Opteron 6128 — 16 cores, 4 memory controllers, 2 channels x 2 ranks x 8
+banks behind each controller (128 bank colors), a 12 MB LLC with 128 B
+lines shared by all cores, and 32 LLC page colors over physical bits 12-16.
+
+:func:`tiny_machine` is a miniature with the same structure for fast unit
+tests and property-based tests.
+
+Note on bit placement: our preset places the *node* field in the top
+address bits, i.e. each controller owns a contiguous quarter of physical
+memory, which is how the Opteron's DRAM base/limit registers describe
+memory when node interleaving is disabled (the paper's NUMA setting).
+
+The bank field uses the paper's literal Fig. 5 bits — **15, 16 and 18** —
+which overlap the LLC color field (bits 12-16).  The overlap is load-
+bearing in two ways, both real:
+
+* banks interleave at 32 KiB granularity, so ordinary buddy allocations
+  spread across banks and enjoy bank-level parallelism (as on the real
+  part), and
+* a (bank color, LLC color) pair is only *compatible* when the shared
+  bits 15/16 agree, i.e. the 128 x 32 color matrix is structurally sparse
+  (8 compatible LLC colors per bank color).  Threads that color both
+  dimensions therefore concentrate their pages in the compatible subset
+  of their banks — the capacity coupling behind the paper's freqmine
+  observation (§V-B).  See :meth:`AddressMapping.colors_compatible`.
+
+Channel and rank sit above the LLC index (the paper reads them from the
+controller-select / CS-base registers at bits 8 and 7, below the page
+offset — there they would stripe *within* each 4 KiB frame and Eq. (1)'s
+per-page bank color would be ill-defined; we lift them to frame-invariant
+positions, preserving the 2-channel x 2-rank x 8-bank geometry).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.address import AddressMapping, contiguous
+from repro.machine.pci import PciConfigSpace, encode_config_space
+from repro.machine.topology import CacheGeometry, MachineTopology
+from repro.util.units import GIB, KIB, MIB
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A complete machine description: topology + address map + PCI file.
+
+    The PCI config space is generated from the mapping (playing BIOS), and
+    the kernel re-derives the mapping from it at boot, as in the paper.
+    """
+
+    topology: MachineTopology
+    mapping: AddressMapping
+    pci: PciConfigSpace
+
+    def __post_init__(self) -> None:
+        if self.mapping.num_nodes != self.topology.num_nodes:
+            raise ValueError(
+                f"mapping has {self.mapping.num_nodes} nodes but topology "
+                f"has {self.topology.num_nodes}"
+            )
+        if self.mapping.line_bytes != self.topology.line_bytes:
+            raise ValueError("mapping and caches disagree on line size")
+        if not self.mapping.frame_colors_invariant():
+            raise ValueError(
+                "preset mapping must give every frame a single color "
+                "(all color bits at or above the page offset)"
+            )
+
+    @property
+    def name(self) -> str:
+        return self.topology.name
+
+
+def _spec(topology: MachineTopology, mapping: AddressMapping) -> MachineSpec:
+    return MachineSpec(
+        topology=topology, mapping=mapping, pci=encode_config_space(mapping)
+    )
+
+
+def opteron_6128(memory_bytes: int = 8 * GIB) -> MachineSpec:
+    """The paper's dual-socket AMD Opteron 6128 platform.
+
+    Args:
+        memory_bytes: installed DRAM; must be a power of two and large
+            enough to hold the DRAM field bits (>= 16 MiB).  8 GiB default
+            gives 2 MiB of frames per (bank color, LLC color) combination.
+    """
+    total_bits = memory_bytes.bit_length() - 1
+    if 1 << total_bits != memory_bytes:
+        raise ValueError("memory size must be a power of two")
+    node_lo = total_bits - 2
+    if node_lo < 24:
+        raise ValueError("opteron_6128 needs at least 64 MiB of memory")
+    topology = MachineTopology(
+        num_sockets=2,
+        nodes_per_socket=2,
+        cores_per_node=4,
+        # Paper §IV: L1 128 KB, L2 512 KB private; L3 12 MB shared; 128 B lines.
+        l1=CacheGeometry(size_bytes=128 * KIB, line_bytes=128, ways=2),
+        l2=CacheGeometry(size_bytes=512 * KIB, line_bytes=128, ways=16),
+        llc=CacheGeometry(size_bytes=12 * MIB, line_bytes=128, ways=24),
+        name="opteron_6128",
+    )
+    mapping = AddressMapping(
+        total_bits=total_bits,
+        line_bits=7,  # 128 B lines
+        page_bits=12,  # 4 KiB frames (order-0, as colored by TintMalloc)
+        fields={
+            "node": contiguous(node_lo, 2),  # 4 controllers, contiguous ranges
+            "channel": contiguous(19, 1),  # 2 channels per controller
+            "rank": contiguous(20, 1),  # 2 ranks per channel
+            "bank": (15, 16, 18),  # Fig. 5's bank bits -> 32 KiB interleave
+        },
+        llc_color_positions=contiguous(12, 5),  # 32 LLC colors (paper: bits 12-16)
+        # Row-buffer granularity: all non-field frame bits, i.e. one 4 KiB
+        # frame per row — two tasks sharing a bank but touching different
+        # pages thrash the row buffer, the paper's Fig. 8 effect.
+        row_bits_start=12,
+    )
+    return _spec(topology, mapping)
+
+
+def opteron_4s(memory_bytes: int = 2 * GIB) -> MachineSpec:
+    """A four-socket extrapolation of the paper's platform (extension).
+
+    Same per-socket structure as :func:`opteron_6128` — 2 controllers and
+    8 cores per socket, Fig. 5 bank bits — scaled to 4 sockets: 32 cores,
+    8 memory controllers, 256 bank colors.  Used by the node-scaling
+    ablation: remote-access exposure (and thus controller-aware coloring's
+    advantage over controller-oblivious partitioning) grows with the node
+    count, since a random remote placement crosses sockets ever more
+    often.
+    """
+    total_bits = memory_bytes.bit_length() - 1
+    if 1 << total_bits != memory_bytes:
+        raise ValueError("memory size must be a power of two")
+    node_lo = total_bits - 3  # 8 nodes
+    if node_lo < 24:
+        raise ValueError("opteron_4s needs at least 128 MiB of memory")
+    topology = MachineTopology(
+        num_sockets=4,
+        nodes_per_socket=2,
+        cores_per_node=4,
+        l1=CacheGeometry(size_bytes=32 * KIB, line_bytes=128, ways=2),
+        l2=CacheGeometry(size_bytes=128 * KIB, line_bytes=128, ways=16),
+        llc=CacheGeometry(size_bytes=3 * MIB, line_bytes=128, ways=24),
+        name="opteron_4s",
+    )
+    mapping = AddressMapping(
+        total_bits=total_bits,
+        line_bits=7,
+        page_bits=12,
+        fields={
+            "node": contiguous(node_lo, 3),  # 8 controllers
+            "channel": contiguous(19, 1),
+            "rank": contiguous(20, 1),
+            "bank": (15, 16, 18),
+        },
+        llc_color_positions=contiguous(12, 5),
+        row_bits_start=12,
+    )
+    return _spec(topology, mapping)
+
+
+def opteron_6128_scaled(memory_bytes: int = 1 * GIB) -> MachineSpec:
+    """A 1:4-scaled Opteron 6128 for affordable simulation sweeps.
+
+    Identical structure to :func:`opteron_6128` — 16 cores, 4 controllers,
+    128 bank colors, 32 LLC colors over physical bits 12-16 — with every
+    cache capacity divided by four (LLC 3 MiB).  Workloads scaled by the
+    same factor (``SpmdSpec.scaled(0.25)``) exercise the same
+    capacity/contention ratios at a quarter of the trace length; the
+    benchmark harness runs on this profile by default (single-core hosts).
+    """
+    total_bits = memory_bytes.bit_length() - 1
+    if 1 << total_bits != memory_bytes:
+        raise ValueError("memory size must be a power of two")
+    node_lo = total_bits - 2
+    if node_lo < 24:
+        raise ValueError("opteron_6128_scaled needs at least 64 MiB of memory")
+    topology = MachineTopology(
+        num_sockets=2,
+        nodes_per_socket=2,
+        cores_per_node=4,
+        l1=CacheGeometry(size_bytes=32 * KIB, line_bytes=128, ways=2),
+        l2=CacheGeometry(size_bytes=128 * KIB, line_bytes=128, ways=16),
+        llc=CacheGeometry(size_bytes=3 * MIB, line_bytes=128, ways=24),
+        name="opteron_6128_scaled",
+    )
+    mapping = AddressMapping(
+        total_bits=total_bits,
+        line_bits=7,
+        page_bits=12,
+        # LLC: 1024 sets -> index bits 7-16; colors still bits 12-16 (each
+        # color now owns 32 sets); same Fig. 5 bank bits as the full preset.
+        fields={
+            "node": contiguous(node_lo, 2),
+            "channel": contiguous(19, 1),
+            "rank": contiguous(20, 1),
+            "bank": (15, 16, 18),
+        },
+        llc_color_positions=contiguous(12, 5),
+        row_bits_start=12,
+    )
+    return _spec(topology, mapping)
+
+
+def tiny_machine(memory_bytes: int = 64 * MIB) -> MachineSpec:
+    """A small 2-node, 4-core machine for tests (same structure, tiny sizes)."""
+    total_bits = memory_bytes.bit_length() - 1
+    if 1 << total_bits != memory_bytes:
+        raise ValueError("memory size must be a power of two")
+    node_lo = total_bits - 1
+    if node_lo < 19:
+        raise ValueError("tiny_machine needs at least 1 MiB of memory")
+    # LLC: 512 sets, line 64 B -> index bits 6-14; DRAM fields start at 15.
+    topology = MachineTopology(
+        num_sockets=1,
+        nodes_per_socket=2,
+        cores_per_node=2,
+        l1=CacheGeometry(size_bytes=8 * KIB, line_bytes=64, ways=2),
+        l2=CacheGeometry(size_bytes=32 * KIB, line_bytes=64, ways=4),
+        llc=CacheGeometry(size_bytes=256 * KIB, line_bytes=64, ways=8),
+        name="tiny",
+    )
+    mapping = AddressMapping(
+        total_bits=total_bits,
+        line_bits=6,
+        page_bits=12,
+        fields={
+            "node": contiguous(node_lo, 1),  # 2 nodes
+            "channel": contiguous(16, 1),
+            "rank": contiguous(17, 1),
+            # Analogue of the full preset's coupling: bank bit 13 overlaps
+            # the LLC color field (12-13); bit 15 sits above the LLC index.
+            "bank": (13, 15),  # 4 banks -> 32 bank colors total
+        },
+        llc_color_positions=contiguous(12, 2),  # 4 LLC colors
+        row_bits_start=12,
+    )
+    return _spec(topology, mapping)

@@ -1,0 +1,161 @@
+"""NUMA machine topology: sockets, memory nodes (controllers), cores, caches.
+
+The paper's platform is a dual-socket AMD Opteron 6128: 16 cores, two
+memory controllers ("nodes") per socket, private L1/L2 per core and an LLC
+shared by all cores.  Distances between a core and a memory node determine
+the interconnect (HyperTransport) penalty of a DRAM access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.intmath import is_power_of_two, log2_exact
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Geometry of one cache level.
+
+    Attributes:
+        size_bytes: total capacity.
+        line_bytes: cache line size (the paper's platform uses 128 B).
+        ways: associativity.
+    """
+
+    size_bytes: int
+    line_bytes: int
+    ways: int
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % (self.line_bytes * self.ways) != 0:
+            raise ValueError(
+                f"cache size {self.size_bytes} not divisible by "
+                f"line*ways={self.line_bytes * self.ways}"
+            )
+        if not is_power_of_two(self.line_bytes):
+            raise ValueError(f"line size must be a power of two, got {self.line_bytes}")
+        if not is_power_of_two(self.num_sets):
+            raise ValueError(
+                f"set count must be a power of two for bit-field indexing, "
+                f"got {self.num_sets}"
+            )
+
+    @property
+    def num_lines(self) -> int:
+        return self.size_bytes // self.line_bytes
+
+    @property
+    def num_sets(self) -> int:
+        return self.num_lines // self.ways
+
+    @property
+    def offset_bits(self) -> int:
+        return log2_exact(self.line_bytes)
+
+    @property
+    def index_bits(self) -> int:
+        return log2_exact(self.num_sets)
+
+
+@dataclass(frozen=True)
+class MachineTopology:
+    """Static layout of sockets, memory nodes, and cores.
+
+    Cores are numbered 0..num_cores-1 and distributed contiguously over
+    nodes; nodes are distributed contiguously over sockets.  This mirrors
+    the paper's numbering, where cores 0-3 sit on node 0, 4-7 on node 1,
+    etc., and nodes 0-1 share socket 0.
+
+    Attributes:
+        num_sockets: physical packages.
+        nodes_per_socket: memory controllers per package.
+        cores_per_node: cores served by each controller as local.
+        l1: per-core L1 data cache geometry.
+        l2: per-core unified L2 geometry.
+        llc: shared last-level cache geometry.
+    """
+
+    num_sockets: int
+    nodes_per_socket: int
+    cores_per_node: int
+    l1: CacheGeometry
+    l2: CacheGeometry
+    llc: CacheGeometry
+    name: str = field(default="machine")
+
+    def __post_init__(self) -> None:
+        if self.num_sockets < 1 or self.nodes_per_socket < 1 or self.cores_per_node < 1:
+            raise ValueError("topology dimensions must be positive")
+        if not (
+            self.l1.line_bytes == self.l2.line_bytes == self.llc.line_bytes
+        ):
+            raise ValueError("all cache levels must share one line size")
+
+    # Counting -----------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Total memory controllers (NUMA nodes) in the machine."""
+        return self.num_sockets * self.nodes_per_socket
+
+    @property
+    def num_cores(self) -> int:
+        return self.num_nodes * self.cores_per_node
+
+    @property
+    def line_bytes(self) -> int:
+        return self.llc.line_bytes
+
+    # Mapping ------------------------------------------------------------------
+    def node_of_core(self, core: int) -> int:
+        """Memory node whose controller is local to ``core``."""
+        self._check_core(core)
+        return core // self.cores_per_node
+
+    def socket_of_node(self, node: int) -> int:
+        self._check_node(node)
+        return node // self.nodes_per_socket
+
+    def socket_of_core(self, core: int) -> int:
+        return self.socket_of_node(self.node_of_core(core))
+
+    def cores_of_node(self, node: int) -> tuple[int, ...]:
+        """All cores local to ``node``, in ascending order."""
+        self._check_node(node)
+        base = node * self.cores_per_node
+        return tuple(range(base, base + self.cores_per_node))
+
+    def nodes_of_socket(self, socket: int) -> tuple[int, ...]:
+        if not 0 <= socket < self.num_sockets:
+            raise ValueError(f"socket {socket} out of range")
+        base = socket * self.nodes_per_socket
+        return tuple(range(base, base + self.nodes_per_socket))
+
+    # Distance -----------------------------------------------------------------
+    def hops(self, core: int, node: int) -> int:
+        """Interconnect hops from ``core`` to memory ``node``.
+
+        0 for the local controller, 1 for another controller on the same
+        socket (on-chip HyperTransport), 2 across sockets (off-chip link).
+        The paper quotes 1/2/3 hops core-to-core; core-to-controller is one
+        fewer because the local controller is on-die.
+        """
+        self._check_node(node)
+        core_node = self.node_of_core(core)
+        if core_node == node:
+            return 0
+        if self.socket_of_node(core_node) == self.socket_of_node(node):
+            return 1
+        return 2
+
+    def is_local(self, core: int, node: int) -> bool:
+        return self.hops(core, node) == 0
+
+    # Validation ---------------------------------------------------------------
+    def _check_core(self, core: int) -> None:
+        if not 0 <= core < self.num_cores:
+            raise ValueError(f"core {core} out of range [0, {self.num_cores})")
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} out of range [0, {self.num_nodes})")

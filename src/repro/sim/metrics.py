@@ -1,0 +1,138 @@
+"""Run metrics: the four quantities the paper reports.
+
+* benchmark runtime (Fig. 11)
+* total idle time across threads (Fig. 12)
+* per-thread runtime in parallel sections (Fig. 13)
+* per-thread idle time at barriers (Fig. 14)
+
+plus cache/DRAM counter roll-ups used for analysis and ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.stats import CacheLevelStats
+from repro.dram.system import DramStats
+
+
+@dataclass
+class ThreadMetrics:
+    """Per-thread accounting across all parallel sections."""
+
+    thread: int
+    core: int
+    #: time spent executing parallel-section work (excludes barrier waits).
+    parallel_runtime: float = 0.0
+    #: time spent waiting at implicit barriers (Algorithm 3's idle[tid]).
+    idle_time: float = 0.0
+    accesses: int = 0
+    dram_accesses: int = 0
+    remote_accesses: int = 0
+    row_conflicts: int = 0
+    faults: int = 0
+    fault_ns: float = 0.0
+
+    @property
+    def remote_fraction(self) -> float:
+        return self.remote_accesses / self.dram_accesses if self.dram_accesses else 0.0
+
+
+@dataclass
+class SectionMetrics:
+    """Wall-clock accounting of one fork-join section."""
+
+    label: str
+    kind: str  # "serial" | "parallel"
+    start: float
+    end: float
+    #: idle summed over participating threads (0 for serial sections).
+    idle: float = 0.0
+    accesses: int = 0
+    faults: int = 0
+    fault_ns: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def ns_per_access(self) -> float:
+        return self.duration / self.accesses if self.accesses else 0.0
+
+
+@dataclass
+class RunMetrics:
+    """Everything measured in one benchmark run."""
+
+    name: str
+    policy: str
+    nthreads: int
+    #: wall-clock runtime of the whole program (serial + parallel).
+    runtime: float = 0.0
+    #: wall-clock spent inside parallel sections only.
+    parallel_runtime: float = 0.0
+    serial_runtime: float = 0.0
+    threads: list[ThreadMetrics] = field(default_factory=list)
+    sections: list[SectionMetrics] = field(default_factory=list)
+    dram: DramStats | None = None
+    cache: dict[str, CacheLevelStats] = field(default_factory=dict)
+    barriers: int = 0
+
+    # ------------------------------------------------------------------ rollups
+    @property
+    def total_idle(self) -> float:
+        """Sum of idle time over all threads (Fig. 12's metric)."""
+        return sum(t.idle_time for t in self.threads)
+
+    @property
+    def max_thread_runtime(self) -> float:
+        return max((t.parallel_runtime for t in self.threads), default=0.0)
+
+    @property
+    def min_thread_runtime(self) -> float:
+        return min((t.parallel_runtime for t in self.threads), default=0.0)
+
+    @property
+    def runtime_spread(self) -> float:
+        """max - min per-thread parallel runtime (the imbalance measure the
+        paper quotes as "difference in maximum and minimum thread running
+        time")."""
+        return self.max_thread_runtime - self.min_thread_runtime
+
+    @property
+    def max_thread_idle(self) -> float:
+        return max((t.idle_time for t in self.threads), default=0.0)
+
+    @property
+    def remote_fraction(self) -> float:
+        total = sum(t.dram_accesses for t in self.threads)
+        remote = sum(t.remote_accesses for t in self.threads)
+        return remote / total if total else 0.0
+
+    def section(self, label: str) -> SectionMetrics:
+        """Look up a section's metrics by label; raises KeyError if absent."""
+        for s in self.sections:
+            if s.label == label:
+                return s
+        raise KeyError(f"no section labelled {label!r}")
+
+    def thread_runtimes(self) -> list[float]:
+        return [t.parallel_runtime for t in self.threads]
+
+    def thread_idles(self) -> list[float]:
+        return [t.idle_time for t in self.threads]
+
+    def summary(self) -> dict[str, float]:
+        """Flat dict of headline numbers (CSV/report friendly)."""
+        return {
+            "runtime": self.runtime,
+            "parallel_runtime": self.parallel_runtime,
+            "serial_runtime": self.serial_runtime,
+            "total_idle": self.total_idle,
+            "max_thread_runtime": self.max_thread_runtime,
+            "min_thread_runtime": self.min_thread_runtime,
+            "runtime_spread": self.runtime_spread,
+            "max_thread_idle": self.max_thread_idle,
+            "remote_fraction": self.remote_fraction,
+        }

@@ -1,0 +1,25 @@
+"""Shared utilities: integer bit math, units, seeded RNG streams."""
+
+from repro.util.intmath import (
+    bit_slice,
+    deposit_bits,
+    is_power_of_two,
+    log2_exact,
+    mask,
+)
+from repro.util.rng import RngStream, derive_seed
+from repro.util.units import GIB, KIB, MIB, parse_size
+
+__all__ = [
+    "bit_slice",
+    "deposit_bits",
+    "is_power_of_two",
+    "log2_exact",
+    "mask",
+    "RngStream",
+    "derive_seed",
+    "KIB",
+    "MIB",
+    "GIB",
+    "parse_size",
+]

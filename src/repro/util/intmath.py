@@ -1,0 +1,63 @@
+"""Integer bit-manipulation helpers used by the physical address codec.
+
+All functions operate on non-negative Python integers (arbitrary width),
+mirroring the bit-field arithmetic a memory controller performs on physical
+addresses.
+"""
+
+from __future__ import annotations
+
+
+def mask(nbits: int) -> int:
+    """Return an ``nbits``-wide mask of ones.
+
+    >>> mask(4)
+    15
+    """
+    if nbits < 0:
+        raise ValueError(f"mask width must be non-negative, got {nbits}")
+    return (1 << nbits) - 1
+
+
+def bit_slice(value: int, lo: int, hi: int) -> int:
+    """Extract bits ``lo..hi`` (inclusive, LSB-numbered) from ``value``.
+
+    >>> bit_slice(0b101100, 2, 4)
+    3
+    """
+    if lo < 0 or hi < lo:
+        raise ValueError(f"invalid bit slice [{lo}, {hi}]")
+    return (value >> lo) & mask(hi - lo + 1)
+
+
+def deposit_bits(value: int, field: int, lo: int, hi: int) -> int:
+    """Return ``value`` with bits ``lo..hi`` replaced by ``field``.
+
+    The inverse of :func:`bit_slice`; ``field`` must fit in the slice.
+
+    >>> deposit_bits(0, 0b11, 2, 3)
+    12
+    """
+    width = hi - lo + 1
+    if lo < 0 or hi < lo:
+        raise ValueError(f"invalid bit slice [{lo}, {hi}]")
+    if field < 0 or field > mask(width):
+        raise ValueError(f"field {field} does not fit in {width} bits")
+    return (value & ~(mask(width) << lo)) | (field << lo)
+
+
+def is_power_of_two(value: int) -> bool:
+    """True when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_exact(value: int) -> int:
+    """Return ``log2(value)`` for an exact power of two; raise otherwise.
+
+    Hardware geometry parameters (bank counts, line sizes, page sizes) must
+    be powers of two for bit-field address decoding to be well defined, so
+    callers use this to validate while converting to a bit width.
+    """
+    if not is_power_of_two(value):
+        raise ValueError(f"{value} is not a power of two")
+    return value.bit_length() - 1

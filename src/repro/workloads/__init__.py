@@ -1,0 +1,23 @@
+"""Workload models: the paper's synthetic benchmark plus trace-level models
+of the six SPEC/Parsec OpenMP codes it evaluates.
+
+Each model is an SPMD program: a serial master-init phase (first-touching
+the shared region and a configurable fraction of each partition), a
+parallel first-touch init, then alternating parallel compute sections and
+serial master sections.  The parameters per benchmark come from the
+paper's own characterisation (§V-B) — memory intensity, footprint, reuse,
+sharing, serial fraction, and access pattern.
+"""
+
+from repro.workloads.base import SpmdSpec, build_spmd_program
+from repro.workloads.registry import WORKLOADS, get_workload
+from repro.workloads.synthetic import SyntheticSpec, build_synthetic_program
+
+__all__ = [
+    "SpmdSpec",
+    "build_spmd_program",
+    "WORKLOADS",
+    "get_workload",
+    "SyntheticSpec",
+    "build_synthetic_program",
+]

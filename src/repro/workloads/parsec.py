@@ -1,0 +1,72 @@
+"""Parsec benchmark models: bodytrack, freqmine, blackscholes.
+
+Parameters encode the paper's per-benchmark characterisation (§V-B):
+
+* **bodytrack** — particle-filter body tracking: moderately
+  memory-intensive with clustered irregular reuse; a solid TintMalloc
+  winner.
+* **freqmine** — FP-growth frequent itemset mining: clustered pointer
+  chasing over per-thread projections plus a master-built shared FP-tree
+  read by every thread.  The shared structure is what makes full MEM+LLC
+  coloring fragile at 16 threads: the tree's frames carry the *master's*
+  colors, concentrating all threads' tree traffic in the master's few
+  compatible banks — which is why the paper finds a "(part)" variant
+  fastest at 16 threads / 4 nodes.
+* **blackscholes** — option pricing: compute-bound (high think time), a
+  large master-read input, and a dominant serial master fraction; the
+  paper's smallest winner (3.6 % with MEM+LLC(part)) — full coloring
+  restricts the master's shared input to its own small LLC share, so
+  group-shared coloring is the only variant that helps.
+"""
+
+from __future__ import annotations
+
+from repro.util.units import KIB, MIB
+from repro.workloads.base import SpmdSpec
+
+BODYTRACK = SpmdSpec(
+    name="bodytrack",
+    per_thread_bytes=int(1.25 * MIB),
+    shared_bytes=256 * KIB,
+    master_init_fraction=0.02,
+    passes=2,
+    compute_sections=3,
+    pattern="random",
+    chunk_lines=16,
+    think_ns=4.0,
+    write_fraction=0.50,
+    shared_fraction=0.05,
+    serial_accesses=1500,
+    serial_think_ns=30.0,
+)
+
+FREQMINE = SpmdSpec(
+    name="freqmine",
+    per_thread_bytes=2 * MIB,
+    shared_bytes=1 * MIB,
+    master_init_fraction=0.02,
+    passes=2,
+    compute_sections=2,
+    pattern="random",
+    chunk_lines=16,
+    think_ns=3.0,
+    write_fraction=0.40,
+    shared_fraction=0.10,
+    serial_accesses=2000,
+    serial_think_ns=25.0,
+)
+
+BLACKSCHOLES = SpmdSpec(
+    name="blackscholes",
+    per_thread_bytes=512 * KIB,
+    shared_bytes=int(1.5 * MIB),
+    master_init_fraction=0.90,
+    passes=2,
+    compute_sections=2,
+    pattern="stream",
+    think_ns=40.0,
+    write_fraction=0.30,
+    shared_fraction=0.50,
+    serial_accesses=20000,
+    serial_think_ns=60.0,
+)

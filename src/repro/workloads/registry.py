@@ -1,0 +1,34 @@
+"""Benchmark registry: name -> :class:`~repro.workloads.base.SpmdSpec`."""
+
+from __future__ import annotations
+
+from repro.workloads.base import SpmdSpec
+from repro.workloads.parsec import BLACKSCHOLES, BODYTRACK, FREQMINE
+from repro.workloads.spec import ART, EQUAKE, LBM
+
+#: The six OpenMP benchmarks the paper evaluates (suite, spec).
+WORKLOADS: dict[str, tuple[str, SpmdSpec]] = {
+    "lbm": ("spec", LBM),
+    "art": ("spec", ART),
+    "equake": ("spec", EQUAKE),
+    "bodytrack": ("parsec", BODYTRACK),
+    "freqmine": ("parsec", FREQMINE),
+    "blackscholes": ("parsec", BLACKSCHOLES),
+}
+
+#: Paper ordering used in the figures.
+BENCH_ORDER = ("lbm", "art", "equake", "bodytrack", "freqmine", "blackscholes")
+
+
+def get_workload(name: str) -> SpmdSpec:
+    """Look up a benchmark spec by name; raises KeyError with suggestions."""
+    try:
+        return WORKLOADS[name][1]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {sorted(WORKLOADS)}"
+        ) from None
+
+
+def suite_of(name: str) -> str:
+    return WORKLOADS[name][0]

@@ -1,0 +1,38 @@
+"""Shared fixtures: small machines and kernels for fast tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.tintmalloc import TintMalloc
+from repro.kernel.kernel import Kernel
+from repro.machine.presets import opteron_6128, tiny_machine
+from repro.util.units import MIB
+
+
+@pytest.fixture
+def tiny():
+    """A 2-node / 4-core machine with 64 MiB of memory."""
+    return tiny_machine()
+
+
+@pytest.fixture
+def tiny_small():
+    """The tiny machine with only 4 MiB — for exhaustion tests."""
+    return tiny_machine(memory_bytes=4 * MIB)
+
+
+@pytest.fixture
+def opteron():
+    """The paper's platform with reduced (128 MiB) memory for speed."""
+    return opteron_6128(memory_bytes=128 * MIB)
+
+
+@pytest.fixture
+def kernel(tiny):
+    return Kernel(tiny)
+
+
+@pytest.fixture
+def tm(kernel):
+    return TintMalloc(kernel=kernel)

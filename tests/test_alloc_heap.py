@@ -1,0 +1,112 @@
+"""Unit tests for the user-level malloc heap."""
+
+import pytest
+
+from repro.alloc.heap import ARENA_CHUNK, HeapAllocator, size_class_of
+from repro.core.tintmalloc import TintMalloc
+
+
+@pytest.fixture
+def heap(tm):
+    return HeapAllocator(tm.kernel, tm.process)
+
+
+@pytest.fixture
+def task(tm):
+    return tm.kernel.create_task(tm.process, core=0)
+
+
+class TestSizeClasses:
+    def test_min_class(self):
+        assert size_class_of(1, 4096) == 16
+        assert size_class_of(16, 4096) == 16
+
+    def test_rounding_up(self):
+        assert size_class_of(17, 4096) == 32
+        assert size_class_of(1500, 4096) == 2048
+
+    def test_large_is_none(self):
+        assert size_class_of(4096, 4096) is None
+        assert size_class_of(2049, 4096) is None
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            size_class_of(0, 4096)
+
+
+class TestSmallAllocations:
+    def test_distinct_addresses(self, heap, task):
+        a = heap.malloc(task, 64)
+        b = heap.malloc(task, 64)
+        assert a != b
+        assert abs(a - b) >= 64
+
+    def test_free_then_reuse(self, heap, task):
+        a = heap.malloc(task, 64)
+        heap.free(task, a)
+        b = heap.malloc(task, 64)
+        assert b == a  # size-class free list reuse
+
+    def test_arena_grows(self, heap, task):
+        n = ARENA_CHUNK // 1024 + 2
+        addrs = [heap.malloc(task, 1024) for _ in range(n)]
+        assert len(set(addrs)) == n
+
+    def test_per_task_arenas_are_separate(self, heap, tm):
+        t1 = tm.kernel.create_task(tm.process, 0)
+        t2 = tm.kernel.create_task(tm.process, 1)
+        a = heap.malloc(t1, 256)
+        b = heap.malloc(t2, 256)
+        # Different arena chunks entirely.
+        assert abs(a - b) >= ARENA_CHUNK - 256
+
+
+class TestLargeAllocations:
+    def test_large_gets_own_mapping(self, heap, task):
+        va = heap.malloc(task, 1 << 20)
+        info = heap.allocation_at(va)
+        assert info.vma is not None
+        assert info.vma.length >= 1 << 20
+
+    def test_large_free_unmaps(self, heap, task, tm):
+        va = heap.malloc(task, 1 << 20)
+        vmas_before = len(tm.process.address_space.vmas)
+        heap.free(task, va)
+        assert len(tm.process.address_space.vmas) == vmas_before - 1
+
+
+class TestAccounting:
+    def test_bytes_allocated(self, heap, task):
+        a = heap.malloc(task, 100)
+        heap.malloc(task, 200)
+        assert heap.bytes_allocated == 300
+        heap.free(task, a)
+        assert heap.bytes_allocated == 200
+
+    def test_double_free_rejected(self, heap, task):
+        va = heap.malloc(task, 64)
+        heap.free(task, va)
+        with pytest.raises(ValueError):
+            heap.free(task, va)
+
+    def test_free_unknown_rejected(self, heap, task):
+        with pytest.raises(ValueError):
+            heap.free(task, 0x1234)
+
+    def test_live_count(self, heap, task):
+        vas = [heap.malloc(task, 32) for _ in range(5)]
+        assert heap.live_allocations() == 5
+        for va in vas:
+            heap.free(task, va)
+        assert heap.live_allocations() == 0
+
+
+class TestColoringIntegration:
+    def test_small_objects_inherit_toucher_colors(self, tm):
+        """malloc itself is color-oblivious; the page faulted by a colored
+        thread carries its colors."""
+        th = tm.spawn_thread(core=0)
+        th.set_colors(mem=[4])
+        va = th.malloc(64)
+        paddr = th.touch(va)
+        assert int(tm.kernel.pool.bank_color[paddr >> 12]) == 4

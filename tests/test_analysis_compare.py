@@ -1,0 +1,39 @@
+"""Unit tests for the policy comparison helper."""
+
+import pytest
+
+from repro.analysis.compare import Comparison, compare, comparison_table
+
+
+class TestCompare:
+    def test_clear_winner_separated(self):
+        c = compare([70.0, 72.0], [100.0, 104.0])
+        assert c.improvement == pytest.approx(1 - 71 / 102)
+        assert c.separated
+        assert c.verdict() == "separated"
+
+    def test_overlapping_ranges(self):
+        c = compare([90.0, 105.0], [100.0, 110.0])
+        assert not c.separated
+        assert c.verdict() == "overlapping"
+
+    def test_tie(self):
+        c = compare([100.0, 100.4], [100.0, 100.4])
+        assert c.verdict() == "tied"
+
+    def test_ratio_direction(self):
+        c = compare([50.0], [100.0])
+        assert c.ratio == pytest.approx(2.0)
+        c2 = compare([100.0], [50.0])
+        assert c2.ratio == pytest.approx(0.5)
+        assert c2.improvement < 0  # A is worse
+
+    def test_table_renders(self):
+        rows = {
+            "lbm buddy-vs-mem+llc": compare([70.0], [100.0]),
+            "art": compare([95.0, 99.0], [100.0, 98.0]),
+        }
+        out = comparison_table(rows)
+        assert "lbm buddy-vs-mem+llc" in out
+        assert "separated" in out
+        assert "overlapping" in out

@@ -1,0 +1,113 @@
+"""Unit tests for the L1/L2/LLC hierarchy over the DRAM model."""
+
+import pytest
+
+from repro.cache.hierarchy import CacheHierarchy, CacheTiming, MemoryLevel
+from repro.dram.system import DramSystem
+from repro.machine.presets import tiny_machine
+
+
+@pytest.fixture
+def setup(tiny):
+    dram = DramSystem(tiny.mapping, tiny.topology)
+    return tiny, dram, CacheHierarchy(tiny.topology, dram)
+
+
+class TestLevels:
+    def test_cold_access_goes_to_dram(self, setup):
+        _, dram, h = setup
+        r = h.access(0x1000, core=0, now=0.0)
+        assert r.level is MemoryLevel.DRAM
+        assert r.dram is not None
+        assert dram.stats.accesses == 1
+
+    def test_second_access_hits_l1(self, setup):
+        _, _, h = setup
+        h.access(0x1000, 0, 0.0)
+        r = h.access(0x1000, 0, 100.0)
+        assert r.level is MemoryLevel.L1
+        assert r.latency == h.timing.l1_hit
+
+    def test_same_line_different_offset_hits(self, setup):
+        tiny, _, h = setup
+        h.access(0x1000, 0, 0.0)
+        r = h.access(0x1000 + tiny.mapping.line_bytes - 1, 0, 100.0)
+        assert r.level is MemoryLevel.L1
+
+    def test_other_core_misses_private_hits_llc(self, setup):
+        _, _, h = setup
+        h.access(0x1000, core=0, now=0.0)
+        r = h.access(0x1000, core=1, now=100.0)
+        assert r.level is MemoryLevel.LLC
+
+    def test_latency_ordering(self, setup):
+        _, _, h = setup
+        dram_r = h.access(0x2000, 0, 0.0)
+        l1_r = h.access(0x2000, 0, 1000.0)
+        llc_r = h.access(0x2000, 1, 2000.0)
+        assert l1_r.latency < llc_r.latency < dram_r.latency
+
+
+class TestL2Path:
+    def test_l1_capacity_falls_to_l2(self, setup):
+        tiny, _, h = setup
+        line = tiny.mapping.line_bytes
+        n_l1_lines = tiny.topology.l1.num_lines
+        # Touch enough distinct lines to overflow L1 but not L2.
+        for i in range(n_l1_lines * 2):
+            h.access(i * line, 0, float(i) * 1000)
+        r = h.access(0, 0, 1e9)
+        assert r.level in (MemoryLevel.L2, MemoryLevel.L1)
+        stats = h.level_stats()
+        assert stats["l2"].hits > 0
+
+
+class TestWritebacks:
+    def test_dirty_llc_eviction_writes_back(self, tiny):
+        dram = DramSystem(tiny.mapping, tiny.topology)
+        h = CacheHierarchy(tiny.topology, dram)
+        line = tiny.mapping.line_bytes
+        llc_lines = tiny.topology.llc.num_lines
+        # Write far more lines than the LLC holds -> dirty evictions.
+        for i in range(llc_lines * 2):
+            h.access(i * line, 0, float(i) * 100, is_write=True)
+        assert dram.stats.writebacks > 0
+
+    def test_clean_evictions_do_not_write_back(self, tiny):
+        dram = DramSystem(tiny.mapping, tiny.topology)
+        h = CacheHierarchy(tiny.topology, dram)
+        line = tiny.mapping.line_bytes
+        for i in range(tiny.topology.llc.num_lines * 2):
+            h.access(i * line, 0, float(i) * 100, is_write=False)
+        assert dram.stats.writebacks == 0
+
+
+class TestStats:
+    def test_level_stats_rollup(self, setup):
+        _, _, h = setup
+        h.access(0x100, 0, 0.0)
+        h.access(0x100, 0, 10.0)
+        stats = h.level_stats()
+        assert stats["l1"].hits == 1
+        assert stats["l1"].misses == 1
+        assert stats["llc"].misses == 1
+
+    def test_core_stats(self, setup):
+        _, _, h = setup
+        h.access(0x100, 2, 0.0)
+        assert h.core_stats(2)["l1"].misses == 1
+        assert h.core_stats(0)["l1"].accesses == 0
+
+    def test_reset(self, setup):
+        _, _, h = setup
+        h.access(0x100, 0, 0.0)
+        h.reset()
+        stats = h.level_stats()
+        assert stats["l1"].accesses == 0
+        assert h.llc.occupancy() == 0
+
+
+class TestCacheTiming:
+    def test_ordering_validated(self):
+        with pytest.raises(ValueError):
+            CacheTiming(l1_hit=10.0, l2_hit=5.0)

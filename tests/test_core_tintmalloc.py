@@ -1,0 +1,112 @@
+"""Unit tests for the TintMalloc public API (the paper's usage model)."""
+
+import pytest
+
+from repro.alloc.policies import Policy
+from repro.core.coloring import color_capacity, mem_colors_local_to
+from repro.core.session import ColoredTeam
+from repro.core.tintmalloc import TintMalloc
+from repro.kernel.kernel import OutOfColoredMemory
+from repro.machine.presets import tiny_machine
+from repro.util.units import MIB
+
+
+class TestUsageModel:
+    def test_paper_flow(self, tm):
+        """Pin, one-line color setup, plain malloc — frames are colored."""
+        th = tm.spawn_thread(core=1)
+        th.set_colors(mem=[2, 3], llc=[0, 1])
+        buf = th.malloc(64 * 1024)
+        th.touch_range(buf, 64 * 1024)
+        for bank, llc in th.page_colors(buf, 64 * 1024):
+            assert bank in (2, 3)
+            assert llc in (0, 1)
+
+    def test_uncolored_thread_first_touch_local(self, tm):
+        th = tm.spawn_thread(core=2)  # node 1 on the tiny machine
+        buf = th.malloc(32 * 1024)
+        th.touch_range(buf, 32 * 1024)
+        node = tm.topology.node_of_core(2)
+        for pfn in (p >> 12 for p in th.touch_range(buf, 32 * 1024)):
+            assert tm.kernel.pool.node_of_frame(pfn) == node
+
+    def test_clear_colors_restores_default(self, tm):
+        th = tm.spawn_thread(core=0)
+        th.set_colors(mem=[5])
+        th.clear_colors()
+        assert not th.task.colored
+        buf = th.malloc(8 * 4096)
+        th.touch_range(buf, 8 * 4096)
+        banks = {b for b, _ in th.page_colors(buf, 8 * 4096)}
+        assert banks != {5}
+
+    def test_thread_node_property(self, tm):
+        assert tm.spawn_thread(core=0).node == 0
+        assert tm.spawn_thread(core=3).node == 1
+
+    def test_capacity_budget_enforced(self):
+        tm = TintMalloc(machine=tiny_machine(memory_bytes=4 * MIB))
+        th = tm.spawn_thread(core=0)
+        mem = tm.mapping.compatible_bank_colors(0, node=0)[0]
+        th.set_colors(mem=[mem], llc=[0])
+        cap = th.capacity()
+        buf = th.malloc(cap.bytes + 4096)
+        with pytest.raises(OutOfColoredMemory):
+            th.touch_range(buf, cap.bytes + 4096)
+
+
+class TestColorCapacity:
+    def test_unconstrained_is_whole_memory(self, tiny):
+        cap = color_capacity(tiny.mapping, None, None)
+        assert cap.bytes == tiny.mapping.memory_bytes
+
+    def test_compatible_pair(self, tiny):
+        mapping = tiny.mapping
+        lc = mapping.compatible_llc_colors(0)[0]
+        cap = color_capacity(mapping, [0], [lc])
+        assert cap.frames == mapping.frames_per_combo()
+
+    def test_incompatible_pair_zero(self, tiny):
+        mapping = tiny.mapping
+        bad = [
+            lc
+            for lc in range(mapping.num_llc_colors)
+            if not mapping.colors_compatible(0, lc)
+        ]
+        cap = color_capacity(mapping, [0], bad[:1])
+        assert cap.frames == 0
+
+    def test_llc_share(self, tiny):
+        cap = color_capacity(
+            tiny.mapping, None, [0],
+            llc_size_bytes=tiny.topology.llc.size_bytes,
+        )
+        expected = tiny.topology.llc.size_bytes // tiny.mapping.num_llc_colors
+        assert cap.llc_bytes == expected
+
+    def test_validation(self, tiny):
+        with pytest.raises(ValueError):
+            color_capacity(tiny.mapping, [], None)
+        with pytest.raises(ValueError):
+            color_capacity(tiny.mapping, [9999], None)
+
+    def test_local_colors_helper(self, tiny):
+        colors = mem_colors_local_to(tiny.mapping, 1)
+        assert all(tiny.mapping.node_of_bank_color(c) == 1 for c in colors)
+
+
+class TestColoredTeam:
+    def test_team_applies_policy(self, tm):
+        team = ColoredTeam.create(tm, cores=[0, 1, 2, 3], policy=Policy.MEM_LLC)
+        assert team.nthreads == 4
+        for handle, assignment in zip(team.handles, team.assignments):
+            assert list(handle.task.mem_colors) == list(assignment.mem_colors)
+            assert list(handle.task.llc_colors) == list(assignment.llc_colors)
+
+    def test_buddy_team_uncolored(self, tm):
+        team = ColoredTeam.create(tm, cores=[0, 1], policy=Policy.BUDDY)
+        assert not any(h.task.colored for h in team.handles)
+
+    def test_master_is_thread_zero(self, tm):
+        team = ColoredTeam.create(tm, cores=[3, 1], policy=Policy.BUDDY)
+        assert team.master.core == 3

@@ -1,0 +1,120 @@
+"""Unit tests for the bank row-buffer state machine."""
+
+import pytest
+
+from repro.dram.bank import Bank, RowKind
+from repro.dram.timing import DramTiming
+
+T = DramTiming()
+
+
+@pytest.fixture
+def bank():
+    return Bank(T)
+
+
+class TestRowBuffer:
+    def test_first_access_is_closed_miss(self, bank):
+        start, service, kind = bank.access(row=5, now=0.0, is_write=False)
+        assert kind is RowKind.MISS
+        assert service == T.row_miss
+        assert start == 0.0
+
+    def test_same_row_hits(self, bank):
+        bank.access(5, 0.0, False)
+        _, service, kind = bank.access(5, 1000.0, False)
+        assert kind is RowKind.HIT
+        assert service == T.row_hit
+
+    def test_other_row_conflicts(self, bank):
+        bank.access(5, 0.0, False)
+        _, service, kind = bank.access(6, 1000.0, False)
+        assert kind is RowKind.CONFLICT
+        assert service == T.row_conflict
+
+    def test_interleaved_rows_thrash(self, bank):
+        """Two tasks alternating rows turn each other's hits into conflicts
+        (the paper's Fig. 8 scenario)."""
+        bank.access(1, 0.0, False)
+        kinds = []
+        t = 1000.0
+        for row in (2, 1, 2, 1):
+            _, _, kind = bank.access(row, t, False)
+            kinds.append(kind)
+            t += 1000.0
+        assert kinds == [RowKind.CONFLICT] * 4
+
+    def test_stats_counts(self, bank):
+        bank.access(1, 0.0, False)
+        bank.access(1, 1000.0, False)
+        bank.access(2, 2000.0, False)
+        assert (bank.misses, bank.hits, bank.conflicts) == (1, 1, 1)
+        assert bank.total_accesses == 3
+        bank.reset_stats()
+        assert bank.total_accesses == 0
+
+
+class TestQueueing:
+    def test_back_to_back_requests_queue(self, bank):
+        start1, service1, _ = bank.access(1, 0.0, False)
+        # Second request arrives while the bank is still busy.
+        start2, _, _ = bank.access(1, 1.0, False)
+        assert start2 == start1 + service1
+
+    def test_write_recovery_extends_occupancy(self, bank):
+        bank.access(1, 0.0, True)
+        start2, _, _ = bank.access(1, 0.0, False)
+        assert start2 == T.row_miss + T.write_recovery
+
+    def test_idle_bank_serves_immediately(self, bank):
+        bank.access(1, 0.0, False)
+        start, _, _ = bank.access(1, 10_000.0, False)
+        assert start == 10_000.0
+
+
+class TestRefresh:
+    def test_refresh_closes_row(self, bank):
+        bank.access(7, 0.0, False)
+        # Crossing a tREFI boundary flushes the row buffer.
+        _, _, kind = bank.access(7, T.refresh_interval + 1.0, False)
+        assert kind is RowKind.MISS
+
+    def test_no_refresh_within_interval(self, bank):
+        bank.access(7, 10.0, False)
+        _, _, kind = bank.access(7, T.refresh_interval * 0.5, False)
+        assert kind is RowKind.HIT
+
+
+class TestWriteback:
+    def test_writeback_occupies_but_keeps_row(self, bank):
+        bank.access(3, 0.0, False)
+        busy_before = bank.busy_until
+        bank.writeback(9, busy_before)
+        assert bank.busy_until > busy_before
+        # Posted writes don't steal the open row (write-queue model).
+        assert bank.open_row == 3
+
+    def test_writeback_occupancy_scaled(self, bank):
+        t0 = bank.busy_until
+        bank.writeback(1, 0.0)
+        occupancy = bank.busy_until - max(t0, 0.0)
+        full = (T.row_miss + T.write_recovery)
+        assert occupancy == pytest.approx(full * T.writeback_occupancy_scale)
+
+
+class TestTimingValidation:
+    def test_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            DramTiming(row_hit=50, row_miss=40)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            DramTiming(ctrl_overhead=-1)
+
+    def test_refresh_positive(self):
+        with pytest.raises(ValueError):
+            DramTiming(refresh_interval=0)
+
+    def test_writeback_scale_range(self):
+        with pytest.raises(ValueError):
+            DramTiming(writeback_occupancy_scale=1.5)

@@ -1,0 +1,138 @@
+"""Unit tests for the DRAM system facade and interconnect."""
+
+import pytest
+
+from repro.dram.bank import RowKind
+from repro.dram.interconnect import Interconnect
+from repro.dram.system import DramSystem
+from repro.dram.timing import DramTiming
+from repro.machine.presets import tiny_machine
+
+T = DramTiming()
+
+
+@pytest.fixture
+def system(tiny):
+    return DramSystem(tiny.mapping, tiny.topology, T)
+
+
+def addr_on(mapping, node, bank=0, rest=0):
+    return mapping.compose(node, 0, 0, bank, rest)
+
+
+class TestLocality:
+    def test_local_cheaper_than_remote(self, tiny, system):
+        local = addr_on(tiny.mapping, node=0)
+        remote = addr_on(tiny.mapping, node=1)
+        r_local = system.access(local, core=0, now=0.0)
+        r_remote = system.access(remote, core=0, now=10_000.0)
+        assert r_local.hops == 0
+        assert r_remote.hops == 1
+        assert r_remote.latency > r_local.latency
+
+    def test_remote_penalty_is_round_trip(self, tiny, system):
+        remote = addr_on(tiny.mapping, node=1)
+        r = system.access(remote, core=0, now=0.0)
+        local_equiv = system.access(
+            addr_on(tiny.mapping, node=0), core=0, now=50_000.0
+        )
+        expected_extra = 2 * T.hop_latency  # same socket, one hop each way
+        assert r.latency - local_equiv.latency == pytest.approx(expected_extra)
+
+    def test_stats_track_remote_fraction(self, tiny, system):
+        system.access(addr_on(tiny.mapping, 0), core=0, now=0.0)
+        system.access(addr_on(tiny.mapping, 1), core=0, now=1000.0)
+        assert system.stats.local_accesses == 1
+        assert system.stats.remote_accesses == 1
+        assert system.stats.remote_fraction == 0.5
+
+
+class TestBankBehaviour:
+    def test_row_hit_within_page(self, tiny, system):
+        base = addr_on(tiny.mapping, 0)
+        system.access(base, 0, 0.0)
+        r = system.access(base + 64, 0, 1000.0)
+        assert r.row_kind is RowKind.HIT
+
+    def test_conflict_across_pages_same_bank(self, tiny, system):
+        mapping = tiny.mapping
+        a = mapping.compose(0, 0, 0, 0, 0)
+        # Same bank, different row: bump a free (non-field) frame bit.
+        b = None
+        for rest in range(1, 64):
+            cand = mapping.compose(0, 0, 0, 0, rest << 12)
+            if mapping.row_of(cand) != mapping.row_of(a):
+                b = cand
+                break
+        assert b is not None
+        system.access(a, 0, 0.0)
+        r = system.access(b, 0, 1000.0)
+        assert r.row_kind is RowKind.CONFLICT
+
+    def test_different_banks_independent(self, tiny, system):
+        a = addr_on(tiny.mapping, 0, bank=0)
+        b = addr_on(tiny.mapping, 0, bank=1)
+        system.access(a, 0, 0.0)
+        r = system.access(b, 0, 1.0)
+        # New bank: closed miss, not conflict.
+        assert r.row_kind is RowKind.MISS
+
+    def test_writeback_counts(self, tiny, system):
+        system.writeback(addr_on(tiny.mapping, 0), now=0.0)
+        assert system.stats.writebacks == 1
+
+
+class TestQueueWaits:
+    def test_contention_raises_queue_wait(self, tiny, system):
+        addr = addr_on(tiny.mapping, 0)
+        first = system.access(addr, 0, 0.0)
+        second = system.access(addr + 64, 1, 0.0)
+        assert first.queue_wait == 0.0
+        assert second.queue_wait > 0.0
+
+    def test_wait_components_sum(self, tiny, system):
+        for i in range(10):
+            system.access(addr_on(tiny.mapping, 0) + 64 * i, 0, 0.0)
+        s = system.stats
+        total = s.wait_link + s.wait_ctrl + s.wait_chan + s.wait_bank
+        assert total == pytest.approx(s.total_queue_wait)
+
+
+class TestReset:
+    def test_reset_clears_everything(self, tiny, system):
+        system.access(addr_on(tiny.mapping, 0), 0, 0.0)
+        system.writeback(addr_on(tiny.mapping, 1), 0.0)
+        system.reset()
+        assert system.stats.accesses == 0
+        assert system.stats.writebacks == 0
+        assert all(b.open_row is None for b in system.banks)
+        r = system.access(addr_on(tiny.mapping, 0), 0, 0.0)
+        assert r.queue_wait == 0.0
+
+
+class TestInterconnect:
+    def test_local_passthrough(self, tiny):
+        ic = Interconnect(tiny.topology, T)
+        arrival, hops = ic.traverse(core=0, node=0, now=123.0)
+        assert (arrival, hops) == (123.0, 0)
+        assert ic.remote_transfers == 0
+
+    def test_remote_adds_propagation(self, tiny):
+        ic = Interconnect(tiny.topology, T)
+        arrival, hops = ic.traverse(core=0, node=1, now=0.0)
+        assert hops == 1
+        assert arrival == pytest.approx(T.hop_latency)
+
+    def test_link_queueing(self, tiny):
+        ic = Interconnect(tiny.topology, T)
+        a1, _ = ic.traverse(0, 1, 0.0)
+        a2, _ = ic.traverse(0, 1, 0.0)  # same directed path, same instant
+        assert a2 == pytest.approx(a1 + T.link_service)
+
+    def test_cross_socket_factor(self):
+        spec = __import__("repro.machine.presets", fromlist=["opteron_6128"]).opteron_6128()
+        ic = Interconnect(spec.topology, T)
+        same_socket, _ = ic.traverse(0, 1, 0.0)
+        cross_socket, _ = ic.traverse(0, 2, 0.0)
+        # 2 hops * factor 2 vs 1 hop * factor 1.
+        assert cross_socket == pytest.approx(same_socket * 4)

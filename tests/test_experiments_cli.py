@@ -1,0 +1,16 @@
+"""Smoke test for the ``python -m repro.experiments`` CLI."""
+
+from repro.experiments.__main__ import main
+
+
+def test_cli_fig10_only(tmp_path, capsys):
+    rc = main([
+        "--profile", "mini", "--reps", "1",
+        "--out", str(tmp_path), "--skip-sweep",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Fig. 10" in out
+    assert (tmp_path / "fig10.csv").exists()
+    header = (tmp_path / "fig10.csv").read_text().splitlines()[0]
+    assert header.startswith("bench,policy")

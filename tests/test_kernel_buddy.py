@@ -1,0 +1,180 @@
+"""Unit + property tests for the binary buddy allocator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernel.buddy import MAX_ORDER, BuddyAllocator
+
+
+class TestBasics:
+    def test_initial_free_frames(self):
+        b = BuddyAllocator(base=0, num_frames=4096)
+        assert b.free_frames() == 4096
+
+    def test_alloc_free_roundtrip(self):
+        b = BuddyAllocator(0, 4096)
+        pfn = b.alloc(0)
+        assert pfn is not None
+        assert b.free_frames() == 4095
+        b.free(pfn, 0)
+        assert b.free_frames() == 4096
+
+    def test_alignment(self):
+        b = BuddyAllocator(0, 4096)
+        for order in range(MAX_ORDER + 1):
+            pfn = b.alloc(order)
+            assert pfn % (1 << order) == 0
+            b.free(pfn, order)
+
+    def test_split_produces_buddies(self):
+        b = BuddyAllocator(0, 1 << MAX_ORDER)
+        b.alloc(0)
+        # One page taken from one max block: every lower order has a buddy.
+        for order in range(MAX_ORDER):
+            assert b.free_blocks(order) == 1
+
+    def test_coalescing_restores_max_order(self):
+        b = BuddyAllocator(0, 1 << MAX_ORDER)
+        pfns = [b.alloc(0) for _ in range(8)]
+        for pfn in pfns:
+            b.free(pfn, 0)
+        assert b.largest_free_order() == MAX_ORDER
+        assert b.free_blocks(MAX_ORDER) == 1
+
+    def test_exhaustion_returns_none(self):
+        b = BuddyAllocator(0, 4)
+        assert b.alloc(2) is not None
+        assert b.alloc(0) is None
+
+    def test_nonzero_base(self):
+        b = BuddyAllocator(base=1 << 20, num_frames=2048)
+        pfn = b.alloc(3)
+        assert pfn >= 1 << 20
+        b.free(pfn, 3)
+        b.check_invariants()
+
+    def test_odd_sized_range_tiled(self):
+        b = BuddyAllocator(0, 1000)  # not a power of two
+        assert b.free_frames() == 1000
+        b.check_invariants()
+
+
+class TestErrors:
+    def test_double_free_detected(self):
+        b = BuddyAllocator(0, 64)
+        pfn = b.alloc(0)
+        b.free(pfn, 0)
+        with pytest.raises(ValueError, match="double free"):
+            b.free(pfn, 0)
+
+    def test_free_inside_free_block(self):
+        b = BuddyAllocator(0, 64)
+        with pytest.raises(ValueError, match="double free"):
+            b.free(8, 0)  # never allocated
+
+    def test_misaligned_free(self):
+        b = BuddyAllocator(0, 64)
+        with pytest.raises(ValueError, match="aligned"):
+            b.free(1, 1)
+
+    def test_out_of_range_free(self):
+        b = BuddyAllocator(0, 64)
+        with pytest.raises(ValueError, match="outside"):
+            b.free(64, 0)
+
+    def test_bad_order(self):
+        b = BuddyAllocator(0, 64)
+        with pytest.raises(ValueError):
+            b.alloc(MAX_ORDER + 1)
+
+
+class TestPopHead:
+    def test_fifo_order(self):
+        b = BuddyAllocator(0, 4 << MAX_ORDER)
+        first = b.pop_head(MAX_ORDER)
+        second = b.pop_head(MAX_ORDER)
+        assert first == 0
+        assert second == 1 << MAX_ORDER
+
+    def test_empty_order(self):
+        b = BuddyAllocator(0, 1 << MAX_ORDER)
+        assert b.pop_head(0) is None
+
+
+class TestFragment:
+    def test_fragment_to_singles(self):
+        b = BuddyAllocator(0, 256)
+        b.fragment()
+        assert b.free_blocks(0) == 256
+        assert b.free_frames() == 256
+        b.check_invariants()
+
+    def test_fragment_with_order(self):
+        b = BuddyAllocator(0, 16)
+        b.fragment(order=list(reversed(range(16))))
+        assert b.pop_head(0) == 15
+
+    def test_fragment_order_must_permute(self):
+        b = BuddyAllocator(0, 16)
+        with pytest.raises(ValueError):
+            b.fragment(order=[0, 0, 1])
+
+    def test_alloc_after_fragment(self):
+        b = BuddyAllocator(0, 64)
+        b.fragment()
+        seen = {b.alloc(0) for _ in range(64)}
+        assert len(seen) == 64
+        assert b.alloc(0) is None
+
+
+@st.composite
+def alloc_free_script(draw):
+    """A random interleaving of allocs (by order) and frees (by index)."""
+    return draw(
+        st.lists(
+            st.tuples(st.sampled_from(["alloc", "free"]), st.integers(0, 6)),
+            min_size=1,
+            max_size=120,
+        )
+    )
+
+
+class TestProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(alloc_free_script())
+    def test_no_overlap_and_conservation(self, script):
+        b = BuddyAllocator(0, 1024)
+        live: dict[int, int] = {}  # pfn -> order
+        for op, arg in script:
+            if op == "alloc":
+                order = arg % (MAX_ORDER + 1)
+                pfn = b.alloc(order)
+                if pfn is not None:
+                    # No overlap with any live allocation.
+                    new = set(range(pfn, pfn + (1 << order)))
+                    for lp, lo in live.items():
+                        assert not new & set(range(lp, lp + (1 << lo)))
+                    live[pfn] = order
+            elif live:
+                pfn = sorted(live)[arg % len(live)]
+                b.free(pfn, live.pop(pfn))
+            # Conservation: free + live == total.
+            held = sum(1 << o for o in live.values())
+            assert b.free_frames() + held == 1024
+        b.check_invariants()
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, MAX_ORDER), min_size=1, max_size=40))
+    def test_free_all_restores_full_coalescing(self, orders):
+        b = BuddyAllocator(0, 1 << MAX_ORDER)
+        allocated = []
+        for order in orders:
+            pfn = b.alloc(order)
+            if pfn is not None:
+                allocated.append((pfn, order))
+        for pfn, order in allocated:
+            b.free(pfn, order)
+        assert b.free_frames() == 1 << MAX_ORDER
+        assert b.free_blocks(MAX_ORDER) == 1
+        b.check_invariants()

@@ -1,0 +1,168 @@
+"""Unit + property tests for the colored free-page matrix."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernel.colorlist import ColorMatrix
+from repro.kernel.frame import FramePool, FrameState
+from repro.machine.presets import tiny_machine
+
+
+@pytest.fixture
+def pool(tiny):
+    return FramePool(tiny.mapping)
+
+
+@pytest.fixture
+def matrix(pool):
+    return ColorMatrix(pool)
+
+
+def find_frame(pool, mem=None, llc=None, exclude=()):
+    for pfn in range(pool.num_frames):
+        if pfn in exclude:
+            continue
+        if mem is not None and pool.bank_color[pfn] != mem:
+            continue
+        if llc is not None and pool.llc_color[pfn] != llc:
+            continue
+        return pfn
+    raise AssertionError("no frame with requested colors")
+
+
+class TestPushPop:
+    def test_push_then_pop_exact(self, pool, matrix):
+        pfn = find_frame(pool, mem=3)
+        llc = int(pool.llc_color[pfn])
+        matrix.push(pfn)
+        assert matrix.total_free == 1
+        got = matrix.pop_matching([3], [llc])
+        assert got == pfn
+        assert matrix.total_free == 0
+
+    def test_pop_respects_mem_constraint(self, pool, matrix):
+        pfn = find_frame(pool, mem=3)
+        matrix.push(pfn)
+        assert matrix.pop_matching([4], None) is None
+        assert matrix.pop_matching([3], None) == pfn
+
+    def test_pop_respects_llc_constraint(self, pool, matrix):
+        pfn = find_frame(pool, llc=1)
+        matrix.push(pfn)
+        assert matrix.pop_matching(None, [0]) is None
+        assert matrix.pop_matching(None, [1]) == pfn
+
+    def test_pop_both_constraints_must_match_jointly(self, pool, matrix):
+        a = find_frame(pool, mem=0)
+        llc_a = int(pool.llc_color[a])
+        other_llc = (llc_a + 1) % pool.mapping.num_llc_colors
+        matrix.push(a)
+        assert matrix.pop_matching([0], [other_llc]) is None
+        assert matrix.pop_matching([0], [llc_a]) == a
+
+    def test_pop_requires_some_constraint(self, matrix):
+        with pytest.raises(ValueError):
+            matrix.pop_matching(None, None)
+
+    def test_push_updates_frame_state(self, pool, matrix):
+        matrix.push(0)
+        assert pool.state[0] == FrameState.COLORED_FREE
+
+    def test_double_push_rejected(self, pool, matrix):
+        matrix.push(0)
+        with pytest.raises(ValueError):
+            matrix.push(0)
+
+
+class TestRotation:
+    def test_pops_rotate_across_colors(self, pool, matrix):
+        """A task with several colors should receive pages spread over
+        them, not drain one list first."""
+        mem_colors = [0, 1]
+        for mc in mem_colors:
+            for _ in range(4):
+                pfn = find_frame(
+                    pool, mem=mc,
+                    exclude={p for b in matrix._lists.values() for p in b},
+                )
+                matrix.push(pfn)
+        got_colors = [
+            int(pool.bank_color[matrix.pop_matching(mem_colors, None)])
+            for _ in range(4)
+        ]
+        assert set(got_colors) == {0, 1}
+
+
+class TestPreference:
+    def test_mem_preference_orders_unconstrained_pop(self, pool, matrix):
+        llc = 0
+        # Pick bank colors compatible with llc 0 on each node.
+        mapping = pool.mapping
+        local_color = mapping.compatible_bank_colors(llc, node=0)[0]
+        remote_color = mapping.compatible_bank_colors(llc, node=1)[0]
+        remote = find_frame(pool, mem=remote_color, llc=llc)
+        local = find_frame(pool, mem=local_color, llc=llc)
+        matrix.push(remote)
+        matrix.push(local)
+        node0 = list(pool.mapping.bank_colors_of_node(0))
+        got = matrix.pop_matching(None, [llc], mem_preference=node0)
+        assert got == local
+
+    def test_preference_falls_back_to_any(self, pool, matrix):
+        llc = 0
+        remote = find_frame(pool, mem=16, llc=llc)
+        matrix.push(remote)
+        node0 = list(pool.mapping.bank_colors_of_node(0))
+        got = matrix.pop_matching(None, [llc], mem_preference=node0)
+        assert got == remote
+
+
+class TestHasMatching:
+    def test_has_matching_all_modes(self, pool, matrix):
+        pfn = find_frame(pool, mem=2)
+        llc = int(pool.llc_color[pfn])
+        matrix.push(pfn)
+        assert matrix.has_matching([2], None)
+        assert matrix.has_matching(None, [llc])
+        assert matrix.has_matching([2], [llc])
+        assert not matrix.has_matching([3], None)
+        assert not matrix.has_matching([2], [(llc + 1) % 4])
+
+
+class TestPropertyBased:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(0, 500), min_size=1, max_size=80, unique=True))
+    def test_push_pop_conserves_and_indexes_stay_consistent(self, pfns):
+        pool = FramePool(tiny_machine().mapping)
+        matrix = ColorMatrix(pool)
+        for pfn in pfns:
+            matrix.push(pfn)
+        matrix.check_invariants()
+        popped = []
+        while True:
+            pfn = matrix.pop_matching(
+                list(range(pool.mapping.num_bank_colors)), None
+            )
+            if pfn is None:
+                break
+            popped.append(pfn)
+        assert sorted(popped) == sorted(pfns)
+        matrix.check_invariants()
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(st.integers(0, 500), min_size=1, max_size=60, unique=True),
+        st.integers(0, 31),
+    )
+    def test_pop_returns_only_requested_colors(self, pfns, mem_color):
+        pool = FramePool(tiny_machine().mapping)
+        matrix = ColorMatrix(pool)
+        for pfn in pfns:
+            matrix.push(pfn)
+        while True:
+            pfn = matrix.pop_matching([mem_color], None)
+            if pfn is None:
+                break
+            assert int(pool.bank_color[pfn]) == mem_color
+        matrix.check_invariants()

@@ -1,0 +1,74 @@
+"""Huge pages bypass coloring (paper §III-C) — kernel-level tests."""
+
+import pytest
+
+from repro.kernel.frame import FrameState
+from repro.kernel.kernel import Kernel
+from repro.kernel.mmapi import PROT_RW
+from repro.machine.presets import tiny_machine
+from repro.util.units import MIB
+
+
+@pytest.fixture
+def env():
+    kernel = Kernel(tiny_machine())
+    proc = kernel.create_process()
+    task = kernel.create_task(proc, core=0)
+    return kernel, proc, task
+
+
+class TestHugeMappings:
+    def test_huge_mapping_populates_block(self, env):
+        kernel, proc, task = env
+        vma = kernel.sys_mmap(task, 0, 2 * MIB, PROT_RW, huge=True)
+        paddr, faulted = proc.address_space.translate(vma.start, task)
+        assert faulted
+        assert proc.address_space.resident_pages == 512
+        # The block is naturally aligned and physically contiguous.
+        assert (paddr >> 12) % 512 == 0
+
+    def test_huge_pages_never_colored(self, env):
+        """A fully colored task still gets plain buddy frames for huge
+        mappings — Algorithm 1 colors order-0 only."""
+        kernel, proc, task = env
+        task.add_mem_color(5)
+        task.add_llc_color(1)
+        vma = kernel.sys_mmap(task, 0, 2 * MIB, PROT_RW, huge=True)
+        proc.address_space.translate(vma.start, task)
+        colors = {
+            int(kernel.pool.bank_color[pfn])
+            for _, pfn in proc.address_space.populated_pages()
+        }
+        assert colors != {5}  # contiguous block spans many bank colors
+        assert task.colored_allocations == 0
+
+    def test_huge_stays_local(self, env):
+        kernel, proc, task = env
+        vma = kernel.sys_mmap(task, 0, 2 * MIB, PROT_RW, huge=True)
+        proc.address_space.translate(vma.start, task)
+        nodes = {
+            kernel.pool.node_of_frame(pfn)
+            for _, pfn in proc.address_space.populated_pages()
+        }
+        assert nodes == {0}  # first-touch locality still applies
+
+    def test_munmap_releases_block(self, env):
+        kernel, proc, task = env
+        vma = kernel.sys_mmap(task, 0, 2 * MIB, PROT_RW, huge=True)
+        proc.address_space.translate(vma.start, task)
+        assert kernel.pool.counts()["allocated"] == 512
+        kernel.sys_munmap(task, vma)
+        assert kernel.pool.counts()["allocated"] == 0
+        for buddy in kernel.page_allocator.node_buddies:
+            buddy.check_invariants()
+
+    def test_heap_malloc_huge(self, env):
+        kernel, proc, task = env
+        from repro.alloc.heap import HeapAllocator
+
+        heap = HeapAllocator(kernel, next(iter(kernel.processes.values())))
+        va = heap.malloc(task, 100, huge=True)  # even tiny requests
+        info = heap.allocation_at(va)
+        assert info.vma is not None and info.vma.page_order == 9
+        paddr, _ = proc.address_space.translate(va, task)
+        assert kernel.pool.state[paddr >> 12] == FrameState.ALLOCATED

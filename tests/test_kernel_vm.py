@@ -1,0 +1,136 @@
+"""Unit tests for VMAs, page tables, and demand paging."""
+
+import pytest
+
+from repro.kernel.task import TaskStruct
+from repro.kernel.vm import MMAP_BASE, AddressSpace, PageFault
+
+
+@pytest.fixture
+def space():
+    next_pfn = iter(range(100, 100_000, 512))  # block-aligned supply
+    faults = []
+
+    def handler(task, vpn, order):
+        faults.append((task.tid, vpn, order))
+        return next(next_pfn)
+
+    s = AddressSpace(page_bits=12, fault_handler=handler)
+    s._test_faults = faults  # type: ignore[attr-defined]
+    return s
+
+
+@pytest.fixture
+def task():
+    return TaskStruct(tid=7, core=0)
+
+
+class TestVma:
+    def test_map_region_page_rounds(self, space):
+        vma = space.map_region(100)
+        assert vma.length == 4096
+        assert vma.start == MMAP_BASE
+
+    def test_regions_do_not_overlap(self, space):
+        a = space.map_region(8192)
+        b = space.map_region(4096)
+        assert a.end <= b.start
+
+    def test_guard_gap_between_regions(self, space):
+        a = space.map_region(4096)
+        b = space.map_region(4096)
+        assert b.start - a.end >= 4096
+
+    def test_zero_length_rejected(self, space):
+        with pytest.raises(ValueError):
+            space.map_region(0)
+
+    def test_vma_of(self, space):
+        vma = space.map_region(8192)
+        assert space.vma_of(vma.start) is vma
+        assert space.vma_of(vma.end) is None
+
+
+class TestDemandPaging:
+    def test_first_touch_faults(self, space, task):
+        vma = space.map_region(8192)
+        paddr, faulted = space.translate(vma.start, task)
+        assert faulted
+        assert space.resident_pages == 1
+        assert space._test_faults == [(7, vma.start >> 12, 0)]
+
+    def test_second_touch_no_fault(self, space, task):
+        vma = space.map_region(4096)
+        space.translate(vma.start, task)
+        _, faulted = space.translate(vma.start + 100, task)
+        assert not faulted
+
+    def test_offset_preserved(self, space, task):
+        vma = space.map_region(4096)
+        paddr, _ = space.translate(vma.start + 123, task)
+        assert paddr & 0xFFF == 123
+
+    def test_unmapped_raises(self, space, task):
+        with pytest.raises(PageFault):
+            space.translate(0xDEAD000, task)
+
+    def test_first_toucher_recorded(self, space):
+        vma = space.map_region(8192)
+        t1, t2 = TaskStruct(tid=1, core=0), TaskStruct(tid=2, core=1)
+        space.translate(vma.start, t1)
+        space.translate(vma.start + 4096, t2)
+        assert space.first_toucher[vma.start >> 12] == 1
+        assert space.first_toucher[(vma.start >> 12) + 1] == 2
+
+
+class TestUnmap:
+    def test_unmap_returns_populated_pfns(self, space, task):
+        vma = space.map_region(3 * 4096)
+        space.translate(vma.start, task)
+        space.translate(vma.start + 2 * 4096, task)
+        released = space.unmap_region(vma)
+        assert len(released) == 2
+
+    def test_unmap_clears_translations(self, space, task):
+        vma = space.map_region(4096)
+        space.translate(vma.start, task)
+        space.unmap_region(vma)
+        with pytest.raises(PageFault):
+            space.translate(vma.start, task)
+
+    def test_populated_pages_iterates(self, space, task):
+        vma = space.map_region(2 * 4096)
+        space.translate(vma.start, task)
+        pages = dict(space.populated_pages())
+        assert (vma.start >> 12) in pages
+
+
+class TestHugePages:
+    def test_huge_vma_rounded_and_aligned(self, space):
+        vma = space.map_region(3 * 1024 * 1024, page_order=9)
+        assert vma.length == 4 * 1024 * 1024  # rounded to 2 MiB units
+        assert vma.start % (2 * 1024 * 1024) == 0
+
+    def test_one_fault_populates_whole_block(self, space, task):
+        vma = space.map_region(2 * 1024 * 1024, page_order=9)
+        _, faulted = space.translate(vma.start + 5 * 4096, task)
+        assert faulted
+        assert space.resident_pages == 512
+        # Exactly one fault, at the aligned base, with the huge order.
+        assert space._test_faults == [(7, vma.start >> 12, 9)]
+
+    def test_block_translations_contiguous(self, space, task):
+        vma = space.map_region(2 * 1024 * 1024, page_order=9)
+        p0, _ = space.translate(vma.start, task)
+        p1, _ = space.translate(vma.start + 4096, task)
+        assert p1 - p0 == 4096
+
+    def test_second_touch_within_block_no_fault(self, space, task):
+        vma = space.map_region(2 * 1024 * 1024, page_order=9)
+        space.translate(vma.start, task)
+        _, faulted = space.translate(vma.start + 100 * 4096, task)
+        assert not faulted
+
+    def test_negative_order_rejected(self, space):
+        with pytest.raises(ValueError):
+            space.map_region(4096, page_order=-1)

@@ -1,0 +1,87 @@
+"""Unit tests for the PCI register file and the boot-time mapping probe."""
+
+import pytest
+
+from repro.machine.address import AddressMapping, contiguous
+from repro.machine.pci import (
+    REG_DRAM_BASE,
+    REG_ID,
+    PciConfigSpace,
+    encode_config_space,
+    probe_address_mapping,
+)
+from repro.machine.presets import opteron_6128, tiny_machine
+
+
+class TestRegisterFile:
+    def test_read_write(self):
+        pci = PciConfigSpace()
+        pci.write32(0x40, 0xDEAD)
+        assert pci.read32(0x40) == 0xDEAD
+
+    def test_unwritten_reads_zero(self):
+        assert PciConfigSpace().read32(0x80) == 0
+
+    def test_unaligned_rejected(self):
+        pci = PciConfigSpace()
+        with pytest.raises(ValueError):
+            pci.read32(0x41)
+        with pytest.raises(ValueError):
+            pci.write32(0x42, 1)
+
+    def test_oversized_value_rejected(self):
+        with pytest.raises(ValueError):
+            PciConfigSpace().write32(0x40, 1 << 32)
+
+
+class TestProbeRoundtrip:
+    @pytest.mark.parametrize("factory", [opteron_6128, tiny_machine])
+    def test_probe_reconstructs_mapping(self, factory):
+        spec = factory()
+        probed = probe_address_mapping(spec.pci)
+        assert probed == spec.mapping
+
+    def test_scattered_bank_bits_roundtrip(self):
+        # The paper's Fig. 5 has non-contiguous bank bits; the CS/bank
+        # registers must carry them faithfully.
+        mapping = AddressMapping(
+            total_bits=30, line_bits=7, page_bits=12,
+            fields={
+                "node": contiguous(28, 2),
+                "channel": contiguous(23, 1),
+                "rank": contiguous(22, 1),
+                "bank": (15, 16, 18),  # paper's literal bank bits
+            },
+            llc_color_positions=contiguous(12, 5),
+            row_bits_start=12,
+        )
+        pci = encode_config_space(mapping)
+        assert probe_address_mapping(pci) == mapping
+
+
+class TestProbeRejections:
+    def test_wrong_vendor(self):
+        pci = PciConfigSpace()
+        pci.write32(REG_ID, 0x8086 << 16)  # the vendor that won't tell
+        with pytest.raises(RuntimeError, match="vendor"):
+            probe_address_mapping(pci)
+
+    def test_divergent_node_registers(self):
+        spec = tiny_machine()
+        pci = PciConfigSpace(dict(spec.pci.registers))
+        base0 = pci.read32(REG_DRAM_BASE)
+        pci.write32(REG_DRAM_BASE + 4, base0 ^ 1)
+        with pytest.raises(RuntimeError, match="divergent"):
+            probe_address_mapping(pci)
+
+    def test_non_contiguous_node_field_unencodable(self):
+        mapping = AddressMapping(
+            total_bits=30, line_bits=6, page_bits=12,
+            fields={
+                "node": (20, 25),  # scattered node bits
+                "channel": (21,), "rank": (22,), "bank": (23,),
+            },
+            llc_color_positions=(12, 13),
+        )
+        with pytest.raises(ValueError, match="contiguous"):
+            encode_config_space(mapping)

@@ -1,0 +1,82 @@
+"""Tests for the 1:4-scaled Opteron preset used by the bench harness."""
+
+import pytest
+
+from repro.machine.presets import opteron_6128, opteron_6128_scaled
+from repro.machine.pci import probe_address_mapping
+from repro.util.units import GIB, MIB
+
+
+class TestScaledPreset:
+    def test_same_color_structure_as_full(self):
+        full = opteron_6128()
+        scaled = opteron_6128_scaled()
+        assert scaled.mapping.num_bank_colors == full.mapping.num_bank_colors
+        assert scaled.mapping.num_llc_colors == full.mapping.num_llc_colors
+        assert scaled.mapping.fields["bank"] == full.mapping.fields["bank"]
+        assert scaled.topology.num_cores == full.topology.num_cores
+
+    def test_caches_quartered(self):
+        full = opteron_6128()
+        scaled = opteron_6128_scaled()
+        for level in ("l1", "l2", "llc"):
+            assert (
+                getattr(scaled.topology, level).size_bytes * 4
+                == getattr(full.topology, level).size_bytes
+            )
+
+    def test_llc_color_to_set_ratio_preserved(self):
+        """Each LLC color owns size/32 of the cache in both presets."""
+        full = opteron_6128()
+        scaled = opteron_6128_scaled()
+        assert full.topology.llc.num_sets % 32 == 0
+        assert scaled.topology.llc.num_sets % 32 == 0
+
+    def test_pci_probe_roundtrip(self):
+        spec = opteron_6128_scaled(512 * MIB)
+        assert probe_address_mapping(spec.pci) == spec.mapping
+
+    def test_memory_floor(self):
+        with pytest.raises(ValueError):
+            opteron_6128_scaled(32 * MIB)
+        with pytest.raises(ValueError):
+            opteron_6128_scaled(3 * GIB)  # not a power of two
+
+    def test_compatibility_structure_matches_full(self):
+        full = opteron_6128().mapping
+        scaled = opteron_6128_scaled().mapping
+        for bc in (0, 31, 64, 127):
+            assert full.compatible_llc_colors(bc) == scaled.compatible_llc_colors(bc)
+
+
+class TestFourSocketPreset:
+    def test_structure(self):
+        from repro.machine.presets import opteron_4s
+
+        spec = opteron_4s()
+        assert spec.topology.num_sockets == 4
+        assert spec.topology.num_cores == 32
+        assert spec.mapping.num_nodes == 8
+        assert spec.mapping.num_bank_colors == 256
+        assert spec.mapping.num_llc_colors == 32
+        assert spec.mapping.fields["bank"] == (15, 16, 18)
+
+    def test_hops_across_four_sockets(self):
+        from repro.machine.presets import opteron_4s
+
+        topo = opteron_4s().topology
+        assert topo.hops(0, 0) == 0
+        assert topo.hops(0, 1) == 1  # same socket
+        assert topo.hops(0, 7) == 2  # cross socket
+
+    def test_pci_roundtrip(self):
+        from repro.machine.presets import opteron_4s
+
+        spec = opteron_4s()
+        assert probe_address_mapping(spec.pci) == spec.mapping
+
+    def test_memory_floor(self):
+        from repro.machine.presets import opteron_4s
+
+        with pytest.raises(ValueError):
+            opteron_4s(64 * MIB)

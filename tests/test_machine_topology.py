@@ -1,0 +1,92 @@
+"""Unit tests for the machine topology model."""
+
+import pytest
+
+from repro.machine.presets import opteron_6128, tiny_machine
+from repro.machine.topology import CacheGeometry, MachineTopology
+from repro.util.units import KIB, MIB
+
+
+@pytest.fixture
+def opteron_topo():
+    return opteron_6128().topology
+
+
+class TestCacheGeometry:
+    def test_counts(self):
+        g = CacheGeometry(size_bytes=12 * MIB, line_bytes=128, ways=24)
+        assert g.num_lines == 98304
+        assert g.num_sets == 4096
+        assert g.offset_bits == 7
+        assert g.index_bits == 12
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(size_bytes=100, line_bytes=64, ways=2)
+
+    def test_non_power_of_two_sets_rejected(self):
+        # 3 ways over 12 KiB -> 64 sets is fine; 96 KiB 4-way line 128
+        # -> 192 sets is not a power of two.
+        with pytest.raises(ValueError):
+            CacheGeometry(size_bytes=96 * KIB, line_bytes=128, ways=4)
+
+    def test_non_power_of_two_line_rejected(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(size_bytes=96 * KIB, line_bytes=96, ways=4)
+
+
+class TestOpteronTopology:
+    def test_counts(self, opteron_topo):
+        assert opteron_topo.num_sockets == 2
+        assert opteron_topo.num_nodes == 4
+        assert opteron_topo.num_cores == 16
+        assert opteron_topo.line_bytes == 128
+
+    def test_node_of_core(self, opteron_topo):
+        assert opteron_topo.node_of_core(0) == 0
+        assert opteron_topo.node_of_core(3) == 0
+        assert opteron_topo.node_of_core(4) == 1
+        assert opteron_topo.node_of_core(15) == 3
+
+    def test_socket_layout(self, opteron_topo):
+        assert opteron_topo.socket_of_node(0) == 0
+        assert opteron_topo.socket_of_node(1) == 0
+        assert opteron_topo.socket_of_node(2) == 1
+        assert opteron_topo.nodes_of_socket(1) == (2, 3)
+
+    def test_cores_of_node(self, opteron_topo):
+        assert opteron_topo.cores_of_node(2) == (8, 9, 10, 11)
+
+    def test_hops_local(self, opteron_topo):
+        assert opteron_topo.hops(0, 0) == 0
+        assert opteron_topo.is_local(5, 1)
+
+    def test_hops_same_socket(self, opteron_topo):
+        assert opteron_topo.hops(0, 1) == 1
+
+    def test_hops_cross_socket(self, opteron_topo):
+        assert opteron_topo.hops(0, 2) == 2
+        assert opteron_topo.hops(15, 0) == 2
+
+    def test_out_of_range(self, opteron_topo):
+        with pytest.raises(ValueError):
+            opteron_topo.node_of_core(16)
+        with pytest.raises(ValueError):
+            opteron_topo.hops(0, 4)
+
+
+class TestTinyTopology:
+    def test_single_socket_hops(self):
+        topo = tiny_machine().topology
+        assert topo.num_nodes == 2
+        assert topo.hops(0, 0) == 0
+        assert topo.hops(0, 1) == 1  # same socket, other node
+
+    def test_validation_line_mismatch(self):
+        l1 = CacheGeometry(8 * KIB, 64, 2)
+        llc = CacheGeometry(256 * KIB, 128, 8)
+        with pytest.raises(ValueError):
+            MachineTopology(
+                num_sockets=1, nodes_per_socket=2, cores_per_node=2,
+                l1=l1, l2=l1, llc=llc,
+            )

@@ -1,0 +1,122 @@
+"""Hypothesis tests over *randomly generated* address mappings.
+
+The codec must be internally consistent for any valid platform
+description, not just the shipped presets: decode/compose round-trips,
+frame color tables match scalar decoding, color compatibility agrees with
+the physically existing frames, and capacity arithmetic is exact.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.address import AddressMapping
+
+
+@st.composite
+def mappings(draw):
+    """A random valid AddressMapping with frame-invariant colors."""
+    total_bits = draw(st.integers(24, 30))
+    page_bits = 12
+    # Candidate positions for field bits: within [page_bits, total_bits).
+    available = list(range(page_bits, total_bits))
+    rng = draw(st.randoms(use_true_random=False))
+    rng.shuffle(available)
+    node_w = draw(st.integers(1, 2))
+    ch_w = draw(st.integers(0, 1)) or 1
+    rank_w = 1
+    bank_w = draw(st.integers(1, 3))
+    need = node_w + ch_w + rank_w + bank_w
+    if need > len(available):
+        bank_w = 1
+        need = node_w + ch_w + rank_w + bank_w
+    positions = available[:need]
+    fields = {
+        "node": tuple(sorted(positions[:node_w])),
+        "channel": tuple(sorted(positions[node_w:node_w + ch_w])),
+        "rank": tuple(sorted(positions[node_w + ch_w:node_w + ch_w + rank_w])),
+        "bank": tuple(sorted(positions[node_w + ch_w + rank_w:need])),
+    }
+    # LLC colors: 2-4 bits anywhere in [page_bits, total_bits) — may
+    # overlap field bits (that's the interesting case).
+    llc_w = draw(st.integers(2, 4))
+    llc_lo = draw(st.integers(page_bits, total_bits - llc_w))
+    return AddressMapping(
+        total_bits=total_bits,
+        line_bits=6,
+        page_bits=page_bits,
+        fields=fields,
+        llc_color_positions=tuple(range(llc_lo, llc_lo + llc_w)),
+        row_bits_start=page_bits,
+    )
+
+
+class TestRandomMappings:
+    @settings(max_examples=50, deadline=None)
+    @given(mappings(), st.data())
+    def test_compose_decode_roundtrip(self, m, data):
+        node = data.draw(st.integers(0, m.num_nodes - 1))
+        ch = data.draw(st.integers(0, m.num_channels - 1))
+        rank = data.draw(st.integers(0, m.num_ranks - 1))
+        bank = data.draw(st.integers(0, m.num_banks - 1))
+        free_bits = m.total_bits - sum(len(p) for p in m.fields.values())
+        rest = data.draw(st.integers(0, (1 << free_bits) - 1))
+        paddr = m.compose(node, ch, rank, bank, rest)
+        loc = m.decode(paddr)
+        assert (loc.node, loc.channel, loc.rank, loc.bank) == (
+            node, ch, rank, bank
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(mappings())
+    def test_bank_color_bijective_over_coordinates(self, m):
+        seen = set()
+        for node in range(m.num_nodes):
+            for ch in range(m.num_channels):
+                for rank in range(m.num_ranks):
+                    for bank in range(m.num_banks):
+                        c = m.compose_bank_color(node, ch, rank, bank)
+                        assert m.split_bank_color(c) == (node, ch, rank, bank)
+                        seen.add(c)
+        assert seen == set(range(m.num_bank_colors))
+
+    @settings(max_examples=20, deadline=None)
+    @given(mappings())
+    def test_frame_table_matches_scalar(self, m):
+        bank, llc = m.frame_color_table()
+        pfns = np.random.default_rng(0).integers(
+            0, m.num_frames, size=64
+        )
+        for pfn in pfns.tolist():
+            assert bank[pfn] == m.frame_bank_color(pfn)
+            assert llc[pfn] == m.frame_llc_color(pfn)
+
+    @settings(max_examples=20, deadline=None)
+    @given(mappings())
+    def test_compatibility_matches_physical_frames(self, m):
+        """colors_compatible(bc, lc) must be True exactly when a frame
+        with that color pair exists."""
+        bank, llc = m.frame_color_table()
+        existing = set(zip(bank.tolist(), llc.tolist()))
+        for bc in range(m.num_bank_colors):
+            for lc in range(m.num_llc_colors):
+                assert m.colors_compatible(bc, lc) == (
+                    (bc, lc) in existing
+                )
+
+    @settings(max_examples=20, deadline=None)
+    @given(mappings())
+    def test_frames_per_combo_exact(self, m):
+        bank, llc = m.frame_color_table()
+        from collections import Counter
+
+        counts = Counter(zip(bank.tolist(), llc.tolist()))
+        assert set(counts.values()) == {m.frames_per_combo()}
+
+    @settings(max_examples=20, deadline=None)
+    @given(mappings())
+    def test_node_ranges_partition_colors(self, m):
+        all_colors = []
+        for node in range(m.num_nodes):
+            all_colors.extend(m.bank_colors_of_node(node))
+        assert sorted(all_colors) == list(range(m.num_bank_colors))

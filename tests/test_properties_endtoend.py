@@ -1,0 +1,120 @@
+"""Property-based tests over the full kernel allocation path.
+
+Random interleavings of color directives, mmaps, touches and unmaps from
+several tasks must preserve the system's core invariants:
+
+* a colored task's frames always match its color sets at fault time;
+* no frame is ever owned twice;
+* frame conservation: buddy + colored-free + allocated == total;
+* the color matrix indexes stay consistent.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernel.frame import FrameState
+from repro.kernel.kernel import Kernel, OutOfColoredMemory, OutOfMemory
+from repro.kernel.mmapi import COLOR_ALLOC, PROT_RW, set_llc_color, set_mem_color
+from repro.machine.presets import tiny_machine
+from repro.util.units import MIB
+
+N_TASKS = 3
+
+
+@st.composite
+def kernel_script(draw):
+    ops = []
+    n = draw(st.integers(5, 60))
+    for _ in range(n):
+        op = draw(
+            st.sampled_from(
+                ["set_mem", "set_llc", "mmap", "touch", "munmap"]
+            )
+        )
+        task = draw(st.integers(0, N_TASKS - 1))
+        arg = draw(st.integers(0, 31))
+        ops.append((op, task, arg))
+    return ops
+
+
+class TestKernelInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(kernel_script())
+    def test_invariants_hold_under_random_scripts(self, script):
+        machine = tiny_machine(memory_bytes=16 * MIB)
+        kernel = Kernel(machine)
+        proc = kernel.create_process()
+        tasks = [
+            kernel.create_task(proc, core=i % machine.topology.num_cores)
+            for i in range(N_TASKS)
+        ]
+        vmas = []
+        space = proc.address_space
+        mapping = kernel.mapping
+
+        for op, ti, arg in script:
+            task = tasks[ti]
+            if op == "set_mem":
+                kernel.sys_mmap(
+                    task,
+                    set_mem_color(arg % mapping.num_bank_colors),
+                    0, PROT_RW | COLOR_ALLOC,
+                )
+            elif op == "set_llc":
+                kernel.sys_mmap(
+                    task,
+                    set_llc_color(arg % mapping.num_llc_colors),
+                    0, PROT_RW | COLOR_ALLOC,
+                )
+            elif op == "mmap":
+                vma = kernel.sys_mmap(task, 0, (1 + arg % 8) * 4096, PROT_RW)
+                vmas.append(vma)
+            elif op == "touch" and vmas:
+                vma = vmas[arg % len(vmas)]
+                offset = (arg * 4096) % vma.length
+                try:
+                    paddr, faulted = space.translate(vma.start + offset, task)
+                except (OutOfColoredMemory, OutOfMemory):
+                    continue
+                if faulted:
+                    pfn = paddr >> 12
+                    # Colored faults match the toucher's colors.
+                    if task.using_bank:
+                        assert int(kernel.pool.bank_color[pfn]) in task.mem_colors
+                    if task.using_llc:
+                        assert int(kernel.pool.llc_color[pfn]) in task.llc_colors
+                    assert kernel.pool.state[pfn] == FrameState.ALLOCATED
+            elif op == "munmap" and vmas:
+                vma = vmas.pop(arg % len(vmas))
+                kernel.sys_munmap(tasks[0], vma)
+
+            # Global invariants after every operation.
+            counts = kernel.pool.counts()
+            assert (
+                counts["buddy"] + counts["colored_free"] + counts["allocated"]
+                == kernel.pool.num_frames
+            )
+            assert counts["allocated"] == len(space.page_table)
+
+        kernel.page_allocator.colors.check_invariants()
+        for buddy in kernel.page_allocator.node_buddies:
+            buddy.check_invariants()
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 2**32 - 1))
+    def test_determinism_same_seed_same_layout(self, seed):
+        """Two kernels given identical operation sequences produce
+        identical physical layouts."""
+        layouts = []
+        for _ in range(2):
+            kernel = Kernel(tiny_machine(memory_bytes=16 * MIB),
+                            aged=True, age_seed=seed)
+            proc = kernel.create_process()
+            task = kernel.create_task(proc, core=0)
+            vma = kernel.sys_mmap(task, 0, 32 * 4096, PROT_RW)
+            pfns = [
+                proc.address_space.translate(vma.start + i * 4096, task)[0] >> 12
+                for i in range(32)
+            ]
+            layouts.append(pfns)
+        assert layouts[0] == layouts[1]

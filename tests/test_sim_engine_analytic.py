@@ -1,0 +1,114 @@
+"""Analytic cross-checks of the execution engine.
+
+In regimes with closed-form expectations (single thread, no contention,
+known hit levels) the engine's output must match first-order arithmetic,
+not merely look plausible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.alloc.policies import Policy
+from repro.cache.hierarchy import CacheTiming
+from repro.core.session import ColoredTeam
+from repro.core.tintmalloc import TintMalloc
+from repro.dram.timing import DramTiming
+from repro.kernel.kernel import Kernel
+from repro.machine.presets import tiny_machine
+from repro.sim.barrier import Program, Section
+from repro.sim.engine import Engine, MemorySystem
+from repro.sim.trace import Trace
+
+CT = CacheTiming()
+
+
+def build(policy=Policy.BUDDY):
+    machine = tiny_machine()
+    kernel = Kernel(machine)
+    tm = TintMalloc(kernel=kernel)
+    team = ColoredTeam.create(tm, [0], policy)
+    memory = MemorySystem.for_machine(machine)
+    return machine, team, Engine(team, memory)
+
+
+def repeated_line_trace(handle, n, think):
+    base = handle.malloc(4096)
+    return Trace(
+        vaddrs=np.full(n, base, dtype=np.int64),
+        writes=np.zeros(n, dtype=bool),
+        think_ns=think,
+    )
+
+
+class TestClosedForm:
+    def test_l1_hit_train_exact(self):
+        """N accesses to one line: 1 fault+DRAM access, N-1 L1 hits."""
+        machine, team, engine = build()
+        n, think = 1000, 3.0
+        trace = repeated_line_trace(team.handles[0], n, think)
+        m = engine.run(Program([Section("parallel", {0: trace})], nthreads=1))
+        t0 = m.threads[0]
+        assert t0.faults == 1
+        assert t0.dram_accesses == 1
+        expected_hits_time = (n - 1) * (think + CT.l1_hit)
+        overhead = m.runtime - expected_hits_time
+        # The remainder is the single fault + DRAM access, bounded well
+        # under a few microseconds.
+        assert 0 < overhead < 5000.0
+
+    def test_think_time_additivity(self):
+        """Doubling think time adds exactly n * delta to the runtime."""
+        runtimes = {}
+        for think in (5.0, 10.0):
+            machine, team, engine = build()
+            trace = repeated_line_trace(team.handles[0], 500, think)
+            m = engine.run(
+                Program([Section("parallel", {0: trace})], nthreads=1)
+            )
+            runtimes[think] = m.runtime
+        assert runtimes[10.0] - runtimes[5.0] == pytest.approx(500 * 5.0)
+
+    def test_dram_latency_floor(self):
+        """A cold single access costs at least the uncontended DRAM path:
+        ctrl overhead + closed-row miss (+ cache probe)."""
+        machine, team, engine = build()
+        trace = repeated_line_trace(team.handles[0], 1, 0.0)
+        m = engine.run(Program([Section("parallel", {0: trace})], nthreads=1))
+        t = DramTiming()
+        floor = t.ctrl_overhead + t.row_miss + CT.llc_hit
+        assert m.runtime >= floor
+
+    def test_access_conservation(self):
+        """Engine-side counters equal trace lengths exactly."""
+        machine, team, engine = build()
+        line = machine.mapping.line_bytes
+        base = team.handles[0].malloc(64 * 1024)
+        n = 64 * 1024 // line
+        trace = Trace(
+            vaddrs=base + np.arange(n, dtype=np.int64) * line,
+            writes=np.zeros(n, dtype=bool),
+            think_ns=1.0,
+        )
+        m = engine.run(Program([Section("parallel", {0: trace})], nthreads=1))
+        t0 = m.threads[0]
+        assert t0.accesses == n
+        stats = engine.memory.hierarchy.level_stats()
+        assert stats["l1"].accesses == n
+        # Every L1 miss flows down: l2 accesses == l1 misses, etc.
+        assert stats["l2"].accesses == stats["l1"].misses
+        assert stats["llc"].accesses == stats["l2"].misses
+        assert m.dram.accesses == stats["llc"].misses
+
+    def test_runtime_scales_linearly_with_trace_length(self):
+        """The marginal cost of extra accesses is exactly think + L1 hit
+        (the fixed fault/DRAM cost cancels in the difference)."""
+        runtimes = {}
+        for n in (400, 800):
+            machine, team, engine = build()
+            trace = repeated_line_trace(team.handles[0], n, 10.0)
+            m = engine.run(
+                Program([Section("parallel", {0: trace})], nthreads=1)
+            )
+            runtimes[n] = m.runtime
+        marginal = runtimes[800] - runtimes[400]
+        assert marginal == pytest.approx(400 * (10.0 + CT.l1_hit))

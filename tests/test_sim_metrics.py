@@ -1,0 +1,58 @@
+"""Unit tests for RunMetrics/ThreadMetrics roll-ups."""
+
+import pytest
+
+from repro.sim.metrics import RunMetrics, ThreadMetrics
+
+
+def metrics_with(runtimes, idles):
+    m = RunMetrics(name="x", policy="buddy", nthreads=len(runtimes))
+    m.threads = [
+        ThreadMetrics(thread=i, core=i, parallel_runtime=rt, idle_time=idle)
+        for i, (rt, idle) in enumerate(zip(runtimes, idles))
+    ]
+    return m
+
+
+class TestRollups:
+    def test_total_idle(self):
+        m = metrics_with([1.0, 2.0], [3.0, 4.0])
+        assert m.total_idle == 7.0
+
+    def test_spread(self):
+        m = metrics_with([1.0, 4.0, 2.0], [0, 0, 0])
+        assert m.runtime_spread == 3.0
+        assert m.max_thread_runtime == 4.0
+        assert m.min_thread_runtime == 1.0
+
+    def test_max_thread_idle(self):
+        m = metrics_with([1.0], [9.0])
+        assert m.max_thread_idle == 9.0
+
+    def test_empty_threads(self):
+        m = RunMetrics(name="x", policy="buddy", nthreads=0)
+        assert m.total_idle == 0.0
+        assert m.runtime_spread == 0.0
+
+    def test_remote_fraction(self):
+        m = metrics_with([1.0, 1.0], [0, 0])
+        m.threads[0].dram_accesses = 10
+        m.threads[0].remote_accesses = 5
+        m.threads[1].dram_accesses = 10
+        assert m.remote_fraction == 0.25
+
+    def test_thread_remote_fraction_zero_division(self):
+        t = ThreadMetrics(thread=0, core=0)
+        assert t.remote_fraction == 0.0
+
+    def test_summary_keys(self):
+        m = metrics_with([1.0, 2.0], [0.5, 0.0])
+        s = m.summary()
+        for key in ("runtime", "total_idle", "runtime_spread",
+                    "max_thread_idle", "remote_fraction"):
+            assert key in s
+
+    def test_lists(self):
+        m = metrics_with([1.0, 2.0], [0.5, 0.0])
+        assert m.thread_runtimes() == [1.0, 2.0]
+        assert m.thread_idles() == [0.5, 0.0]

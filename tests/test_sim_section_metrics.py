@@ -1,0 +1,68 @@
+"""Per-section metrics: structure and the §III-C first-touch observation."""
+
+import pytest
+
+from repro.alloc.policies import Policy
+from repro.core.session import ColoredTeam
+from repro.core.tintmalloc import TintMalloc
+from repro.kernel.kernel import Kernel
+from repro.machine.presets import tiny_machine
+from repro.sim.engine import Engine, MemorySystem
+from repro.util.rng import RngStream
+from repro.util.units import KIB
+from repro.workloads.base import SpmdSpec, build_spmd_program
+
+SPEC = SpmdSpec(
+    name="probe", per_thread_bytes=32 * KIB, shared_bytes=4 * KIB,
+    master_init_fraction=0.1, passes=2, compute_sections=2,
+    pattern="stream", serial_accesses=20,
+)
+
+
+@pytest.fixture
+def run():
+    machine = tiny_machine()
+    kernel = Kernel(machine)
+    tm = TintMalloc(kernel=kernel)
+    team = ColoredTeam.create(tm, [0, 1, 2, 3], Policy.MEM_LLC)
+    memory = MemorySystem.for_machine(machine)
+    program = build_spmd_program(SPEC, team, RngStream(0))
+    return Engine(team, memory).run(program)
+
+
+class TestSectionMetrics:
+    def test_sections_cover_runtime(self, run):
+        assert run.sections[0].start == 0.0
+        for prev, cur in zip(run.sections, run.sections[1:]):
+            assert cur.start == prev.end
+        assert run.sections[-1].end == run.runtime
+
+    def test_kinds_and_labels(self, run):
+        assert run.section("serial-init").kind == "serial"
+        assert run.section("parallel-init").kind == "parallel"
+        assert run.section("compute[0]").kind == "parallel"
+        with pytest.raises(KeyError):
+            run.section("nope")
+
+    def test_serial_sections_have_no_idle(self, run):
+        for s in run.sections:
+            if s.kind == "serial":
+                assert s.idle == 0.0
+
+    def test_idle_sums_to_thread_totals(self, run):
+        assert sum(s.idle for s in run.sections) == pytest.approx(
+            run.total_idle
+        )
+
+    def test_faults_partition_across_sections(self, run):
+        total = sum(t.faults for t in run.threads)
+        assert sum(s.faults for s in run.sections) == total
+
+    def test_paper_iiic_init_pays_more_per_access(self, run):
+        """§III-C: colored allocation overhead concentrates in the
+        initialization phase — the init section costs more per access
+        (fault + refill charges) than steady-state compute."""
+        init = run.section("parallel-init")
+        compute = run.section("compute[1]")  # warm section
+        assert init.faults > compute.faults
+        assert init.ns_per_access > compute.ns_per_access

@@ -1,0 +1,119 @@
+"""Unit tests for program serialisation and rebasing."""
+
+import numpy as np
+import pytest
+
+from repro.sim.barrier import Program, Section
+from repro.sim.trace import Trace
+from repro.sim.tracefile import load_program, rebase_program, save_program
+
+
+def sample_program():
+    t0 = Trace(
+        vaddrs=np.arange(10, dtype=np.int64) * 64 + 0x1000,
+        writes=np.array([i % 2 == 0 for i in range(10)]),
+        think_ns=3.5,
+        label="t0",
+    )
+    t1 = Trace(
+        vaddrs=np.arange(5, dtype=np.int64) * 64 + 0x9000,
+        writes=np.zeros(5, dtype=bool),
+        think_ns=np.linspace(1.0, 5.0, 5),
+        label="t1",
+    )
+    return Program(
+        sections=[
+            Section("serial", {0: t0}, label="init"),
+            Section("parallel", {0: t0, 1: t1}, label="compute"),
+        ],
+        nthreads=2,
+        name="sample",
+    )
+
+
+class TestRoundtrip:
+    def test_save_load_identical(self, tmp_path):
+        path = tmp_path / "prog.npz"
+        original = sample_program()
+        save_program(original, path)
+        loaded = load_program(path)
+        assert loaded.name == "sample"
+        assert loaded.nthreads == 2
+        assert len(loaded.sections) == 2
+        for s_orig, s_load in zip(original.sections, loaded.sections):
+            assert s_load.kind == s_orig.kind
+            assert s_load.label == s_orig.label
+            for tid in s_orig.traces:
+                a, b = s_orig.traces[tid], s_load.traces[tid]
+                assert (a.vaddrs == b.vaddrs).all()
+                assert (a.writes == b.writes).all()
+                assert a.total_think_ns == pytest.approx(b.total_think_ns)
+
+    def test_per_access_think_preserved(self, tmp_path):
+        path = tmp_path / "prog.npz"
+        save_program(sample_program(), path)
+        loaded = load_program(path)
+        think = loaded.sections[1].traces[1].think_ns
+        assert isinstance(think, np.ndarray)
+        assert think[0] == pytest.approx(1.0)
+
+    def test_version_check(self, tmp_path):
+        import json
+
+        path = tmp_path / "bad.npz"
+        manifest = {"version": 99, "name": "x", "nthreads": 1, "sections": []}
+        np.savez(path, __manifest__=np.frombuffer(
+            json.dumps(manifest).encode(), dtype=np.uint8))
+        with pytest.raises(ValueError, match="version"):
+            load_program(path)
+
+
+class TestRebase:
+    def test_rebase_shifts_min_to_base(self):
+        program = sample_program()
+        rebased = rebase_program(program, new_base=0x100000)
+        lo = min(
+            int(t.vaddrs.min())
+            for s in rebased.sections
+            for t in s.traces.values()
+        )
+        assert lo == 0x100000
+
+    def test_rebase_preserves_structure(self):
+        program = sample_program()
+        rebased = rebase_program(program, new_base=0x100000)
+        orig = program.sections[1].traces[1].vaddrs
+        new = rebased.sections[1].traces[1].vaddrs
+        assert ((new - orig) == (new[0] - orig[0])).all()
+
+    def test_rebased_program_runs(self, tmp_path):
+        """A saved workload replayed into a different process works."""
+        from repro.alloc.policies import Policy
+        from repro.core.session import ColoredTeam
+        from repro.core.tintmalloc import TintMalloc
+        from repro.kernel.kernel import Kernel
+        from repro.machine.presets import tiny_machine
+        from repro.sim.engine import Engine, MemorySystem
+        from repro.util.rng import RngStream
+        from repro.util.units import KIB
+        from repro.workloads.base import SpmdSpec, build_spmd_program
+
+        spec = SpmdSpec(name="x", per_thread_bytes=8 * KIB, shared_bytes=0,
+                        master_init_fraction=0.0, passes=1,
+                        compute_sections=1, serial_accesses=0)
+        machine = tiny_machine()
+        tm1 = TintMalloc(machine=machine)
+        team1 = ColoredTeam.create(tm1, [0, 1], Policy.BUDDY)
+        program = build_spmd_program(spec, team1, RngStream(0))
+        path = tmp_path / "w.npz"
+        save_program(program, path)
+
+        # Fresh machine/team: rebase onto its heap.
+        machine2 = tiny_machine()
+        tm2 = TintMalloc(machine=machine2)
+        team2 = ColoredTeam.create(tm2, [0, 1], Policy.BUDDY)
+        base = team2.master.malloc(64 * KIB)
+        replay = rebase_program(load_program(path), base)
+        memory = MemorySystem.for_machine(machine2)
+        metrics = Engine(team2, memory).run(replay)
+        assert metrics.runtime > 0

@@ -1,0 +1,44 @@
+"""Unit tests for seeded RNG streams."""
+
+from repro.util.rng import RngStream, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(7, "a", 1) == derive_seed(7, "a", 1)
+
+    def test_name_sensitivity(self):
+        assert derive_seed(7, "a") != derive_seed(7, "b")
+
+    def test_master_sensitivity(self):
+        assert derive_seed(7, "a") != derive_seed(8, "a")
+
+    def test_path_flattening_is_not_ambiguous(self):
+        # ("ab",) vs ("a", "b") must differ.
+        assert derive_seed(1, "ab") != derive_seed(1, "a", "b")
+
+
+class TestRngStream:
+    def test_same_path_same_draws(self):
+        a = RngStream(42, "x").integers(0, 1000, size=10)
+        b = RngStream(42, "x").integers(0, 1000, size=10)
+        assert (a == b).all()
+
+    def test_different_paths_diverge(self):
+        a = RngStream(42, "x").integers(0, 1000, size=10)
+        b = RngStream(42, "y").integers(0, 1000, size=10)
+        assert (a != b).any()
+
+    def test_child_independent_of_consumption(self):
+        s1 = RngStream(42, "root")
+        s1.integers(0, 100, size=5)  # consume some state
+        c1 = s1.child("leaf").integers(0, 1000, size=5)
+        s2 = RngStream(42, "root")
+        c2 = s2.child("leaf").integers(0, 1000, size=5)
+        assert (c1 == c2).all()
+
+    def test_children_distinct(self):
+        s = RngStream(0)
+        a = s.child("a").random(5)
+        b = s.child("b").random(5)
+        assert (a != b).any()

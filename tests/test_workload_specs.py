@@ -1,0 +1,84 @@
+"""Calibration invariants of the six benchmark specs.
+
+These encode the paper's §V-B characterisation as assertions, so a future
+re-tuning cannot silently contradict the qualitative facts the models are
+built from.
+"""
+
+import pytest
+
+from repro.machine.presets import opteron_6128
+from repro.workloads.registry import BENCH_ORDER, get_workload
+from repro.workloads.parsec import BLACKSCHOLES, BODYTRACK, FREQMINE
+from repro.workloads.spec import ART, EQUAKE, LBM
+
+
+def llc_share_per_thread(nthreads=16):
+    spec = opteron_6128()
+    return spec.topology.llc.size_bytes * 2 // 32  # 2 colors of 32
+
+
+class TestPaperCharacterisation:
+    def test_lbm_is_most_memory_intensive(self):
+        """Paper: lbm shows the largest enhancement; it is the most
+        memory-intensive (lowest think time) and streams."""
+        assert LBM.think_ns <= min(
+            s.think_ns for s in (ART, EQUAKE, BODYTRACK, FREQMINE,
+                                 BLACKSCHOLES)
+        )
+        assert LBM.pattern == "stream"
+
+    def test_lbm_footprint_exceeds_llc_share(self):
+        """lbm is DRAM-bound under any allocator (grids >> cache)."""
+        assert LBM.per_thread_bytes > 3 * llc_share_per_thread()
+
+    def test_blackscholes_is_compute_bound_and_master_heavy(self):
+        """Paper: blackscholes reads a large input, is less memory
+        intensive, and has the largest serial master fraction."""
+        assert BLACKSCHOLES.think_ns >= 5 * max(
+            LBM.think_ns, ART.think_ns, FREQMINE.think_ns
+        )
+        assert BLACKSCHOLES.master_init_fraction >= 0.8
+        assert BLACKSCHOLES.serial_accesses * BLACKSCHOLES.serial_think_ns >= max(
+            s.serial_accesses * s.serial_think_ns
+            for s in (LBM, ART, EQUAKE, BODYTRACK, FREQMINE)
+        )
+
+    def test_worker_first_touch_for_good_benchmarks(self):
+        """Paper condition (3): the winning benchmarks' partitions are
+        first-touched by the worker threads themselves."""
+        for spec in (LBM, ART, EQUAKE, BODYTRACK, FREQMINE):
+            assert spec.master_init_fraction <= 0.05, spec.name
+
+    def test_freqmine_has_largest_shared_structure(self):
+        """Paper/DESIGN: freqmine's shared FP-tree drives its (part)
+        crossover."""
+        assert FREQMINE.shared_bytes >= max(
+            s.shared_bytes for s in (LBM, ART, EQUAKE, BODYTRACK)
+        )
+        assert FREQMINE.shared_fraction >= 2 * LBM.shared_fraction
+
+    def test_irregular_benchmarks_use_chunked_random(self):
+        for spec in (ART, EQUAKE, BODYTRACK, FREQMINE):
+            assert spec.pattern == "random", spec.name
+            assert spec.chunk_lines >= 8, spec.name
+
+    def test_all_specs_fit_colored_capacity(self):
+        """Per-thread footprints must fit the tightest colored budget
+        (MEM+LLC at 16 threads on the scaled experiment machine), or
+        experiment runs would hit OutOfColoredMemory."""
+        from repro.experiments.runner import PROFILES
+
+        factory, memory_bytes, scale = PROFILES["scaled"]
+        mapping = factory(memory_bytes).mapping
+        # 8 bank colors x 2 LLC colors, sparse compatibility -> 4 combos.
+        budget = 4 * mapping.frames_per_combo() * mapping.page_bytes
+        for name in BENCH_ORDER:
+            spec = get_workload(name).scaled(scale)
+            need = spec.per_thread_bytes * 1.3  # arena/guard slack
+            assert need < budget, (name, need, budget)
+
+    def test_every_bench_has_multiple_barriers(self):
+        """Figs. 12/14 need several parallel sections per run."""
+        for name in BENCH_ORDER:
+            assert get_workload(name).compute_sections >= 2, name
