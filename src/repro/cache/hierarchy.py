@@ -18,6 +18,7 @@ from repro.cache.prefetch import StridePrefetcher
 from repro.cache.stats import CacheLevelStats
 from repro.dram.system import AccessResult, DramSystem
 from repro.machine.topology import MachineTopology
+from repro.obs.observer import NULL_OBSERVER, NullObserver
 
 
 class MemoryLevel(enum.Enum):
@@ -71,6 +72,7 @@ class CacheHierarchy:
         timing: CacheTiming = CacheTiming(),
         prefetch: bool = False,
         prefetch_depth: int = 2,
+        observer: NullObserver = NULL_OBSERVER,
     ) -> None:
         self.topology = topology
         self.dram = dram
@@ -105,6 +107,30 @@ class CacheHierarchy:
         self._r_l1 = HierarchyResult(timing.l1_hit, MemoryLevel.L1)
         self._r_l2 = HierarchyResult(timing.l2_hit, MemoryLevel.L2)
         self._r_llc = HierarchyResult(timing.llc_hit, MemoryLevel.LLC)
+        self._register_counters(observer)
+
+    def _register_counters(self, obs: NullObserver) -> None:
+        """Per-level hit/miss counters, sampled from the live caches.
+
+        Pull-based: the lookup path stays untouched; the observer sums
+        the per-core counters only at its sampling cadence.
+        """
+        if not obs.enabled:
+            return
+        obs.register_counter(
+            "cache.l1.hits", lambda now: sum(c.hits for c in self.l1)
+        )
+        obs.register_counter(
+            "cache.l1.misses", lambda now: sum(c.misses for c in self.l1)
+        )
+        obs.register_counter(
+            "cache.l2.hits", lambda now: sum(c.hits for c in self.l2)
+        )
+        obs.register_counter(
+            "cache.l2.misses", lambda now: sum(c.misses for c in self.l2)
+        )
+        obs.register_counter("cache.llc.hits", lambda now: self.llc.hits)
+        obs.register_counter("cache.llc.misses", lambda now: self.llc.misses)
 
     # ------------------------------------------------------------------ access
     def access(

@@ -17,6 +17,7 @@ from repro.dram.interconnect import Interconnect
 from repro.dram.timing import DEFAULT_TIMING, DramTiming
 from repro.machine.address import AddressMapping
 from repro.machine.topology import MachineTopology
+from repro.obs.observer import NULL_OBSERVER, NullObserver
 
 
 class AccessResult:
@@ -116,12 +117,15 @@ class DramSystem:
         mapping: AddressMapping,
         topology: MachineTopology,
         timing: DramTiming = DEFAULT_TIMING,
+        observer: NullObserver = NULL_OBSERVER,
     ) -> None:
         if mapping.num_nodes != topology.num_nodes:
             raise ValueError("mapping/topology node count mismatch")
         self.mapping = mapping
         self.topology = topology
         self.timing = timing
+        self.obs = observer
+        self._obs_enabled = observer.enabled
         self.banks = [Bank(timing) for _ in range(mapping.num_bank_colors)]
         self._ctrl_busy = [0.0] * mapping.num_nodes
         # One data bus per (node, channel).
@@ -135,6 +139,36 @@ class DramSystem:
         self._banks_per_channel = mapping.num_ranks * mapping.num_banks
         self._page_bits = mapping.page_bits
         self._row_shift = mapping.row_bits_start
+        self._register_counters(observer)
+
+    def _register_counters(self, obs: NullObserver) -> None:
+        """Expose aggregate stats and controller occupancy as counters.
+
+        Callbacks close over ``self`` (not ``self.stats``) so they keep
+        reading the live stats object across :meth:`reset`.
+        """
+        if not obs.enabled:
+            return
+        obs.register_counter("dram.accesses", lambda now: self.stats.accesses)
+        obs.register_counter("dram.row_hits", lambda now: self.stats.row_hits)
+        obs.register_counter("dram.row_misses", lambda now: self.stats.row_misses)
+        obs.register_counter(
+            "dram.row_conflicts", lambda now: self.stats.row_conflicts
+        )
+        obs.register_counter(
+            "dram.local_accesses", lambda now: self.stats.local_accesses
+        )
+        obs.register_counter(
+            "dram.remote_accesses", lambda now: self.stats.remote_accesses
+        )
+        obs.register_counter("dram.writebacks", lambda now: self.stats.writebacks)
+        for node in range(self.mapping.num_nodes):
+            # Gauge: how far ahead of "now" this controller is booked —
+            # the queue-depth proxy of a busy-time occupancy model.
+            obs.register_counter(
+                f"dram.ctrl_queue_ns[{node}]",
+                lambda now, n=node: max(0.0, self._ctrl_busy[n] - now),
+            )
 
     # ------------------------------------------------------------------ access
     def access(
@@ -177,6 +211,15 @@ class DramSystem:
         stats.wait_bank += w_bank
         result = AccessResult(latency, kind, node, bank_color, hops, queue_wait)
         stats.record(result)
+        if self._obs_enabled:
+            self.obs.span(
+                "dram.access", now, done, track="dram", tid=node,
+                args={
+                    "bank": bank_color, "row": kind.value, "hops": hops,
+                    "core": core, "queue_wait": queue_wait,
+                    "write": is_write,
+                },
+            )
         return result
 
     def prefetch_fill(self, paddr: int, core: int, now: float) -> None:

@@ -22,6 +22,7 @@ from repro.experiments.configs import CONFIG_ORDER
 from repro.experiments.figures import FIG10_POLICIES, fig10, fig11, fig12, fig13, fig14
 from repro.experiments.report import write_csv
 from repro.experiments.runner import run_synthetic, sweep
+from repro.obs import NULL_OBSERVER, Observer, export_run
 from repro.workloads.registry import BENCH_ORDER
 
 
@@ -40,6 +41,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--experiments-md", default=None, metavar="PATH",
                         help="also write the paper-vs-measured ledger "
                              "(EXPERIMENTS.md) to PATH")
+    parser.add_argument("--trace-out", default=None, metavar="DIR",
+                        help="record an observability trace per run into "
+                             "DIR: Perfetto trace_event JSON (open in "
+                             "chrome://tracing or ui.perfetto.dev), JSONL "
+                             "event log, and a counter-timeline CSV")
     args = parser.parse_args(argv)
 
     out = Path(args.out)
@@ -51,12 +57,20 @@ def main(argv: list[str] | None = None) -> int:
     # ---------------------------------------------------------------- Fig 10
     t0 = time.time()
     print("== Fig. 10: synthetic benchmark ==")
-    fig10_records = [
-        run_synthetic(policy, "16_threads_4_nodes", rep=rep,
-                      profile=args.profile)
-        for policy in FIG10_POLICIES
-        for rep in range(args.reps)
-    ]
+    fig10_records = []
+    for policy in FIG10_POLICIES:
+        for rep in range(args.reps):
+            observer = NULL_OBSERVER if args.trace_out is None else Observer()
+            fig10_records.append(
+                run_synthetic(policy, "16_threads_4_nodes", rep=rep,
+                              profile=args.profile, observer=observer)
+            )
+            if args.trace_out is not None:
+                paths = export_run(
+                    observer, args.trace_out,
+                    f"synthetic_{policy.label}_rep{rep}",
+                )
+                print(f"  trace: {paths['perfetto']}")
     write_csv(fig10_records, str(out / "fig10.csv"))
     f10 = fig10(fig10_records)
     print(f10.render())
@@ -76,6 +90,7 @@ def main(argv: list[str] | None = None) -> int:
         configs=configs,
         reps=args.reps,
         profile=args.profile,
+        trace_dir=args.trace_out,
     )
     write_csv(records, str(out / "main_sweep.csv"))
     print(f"(sweep took {time.time() - t0:.0f}s; CSV in {out})\n")

@@ -22,6 +22,7 @@ from repro.core.tintmalloc import TintMalloc
 from repro.experiments.configs import CONFIGS, ExperimentConfig
 from repro.kernel.kernel import Kernel
 from repro.machine.presets import MachineSpec, opteron_6128, opteron_6128_scaled
+from repro.obs import NULL_OBSERVER, NullObserver, Observer, export_run
 from repro.sim.engine import Engine, MemorySystem
 from repro.util.rng import RngStream
 from repro.util.units import GIB, MIB
@@ -94,13 +95,14 @@ def _fresh_environment(
     policy: Policy,
     machine: MachineSpec | None = None,
     age_seed: int = 0,
+    observer: NullObserver = NULL_OBSERVER,
 ) -> tuple[ColoredTeam, Engine]:
     machine = machine or opteron_6128(EXPERIMENT_MEMORY)
-    kernel = Kernel(machine, age_seed=age_seed)
+    kernel = Kernel(machine, age_seed=age_seed, observer=observer)
     tm = TintMalloc(kernel=kernel)
     team = ColoredTeam.create(tm, list(config.cores), policy)
-    memory = MemorySystem.for_machine(machine)
-    return team, Engine(team, memory)
+    memory = MemorySystem.for_machine(machine, observer=observer)
+    return team, Engine(team, memory, observer=observer)
 
 
 def _record_from_metrics(metrics, bench, policy, config, rep) -> RunRecord:
@@ -134,11 +136,14 @@ def run_benchmark(
     scale: float | None = None,
     machine: MachineSpec | None = None,
     profile: str = "full",
+    observer: NullObserver = NULL_OBSERVER,
 ) -> RunRecord:
     """Execute one benchmark run and summarise it.
 
     ``profile`` selects machine + workload scaling together ("full" or
     "scaled"); explicit ``machine``/``scale`` arguments override it.
+    ``observer`` (a fresh :class:`repro.obs.Observer`) records a trace
+    of the run; the default NullObserver records nothing.
     """
     config = CONFIGS[config_name]
     spec = get_workload(bench)
@@ -148,7 +153,9 @@ def run_benchmark(
         spec = spec.scaled(scale)
     if machine is None and profile != "full":
         machine = profile_machine(profile)
-    team, engine = _fresh_environment(config, policy, machine, age_seed=seed + rep)
+    team, engine = _fresh_environment(
+        config, policy, machine, age_seed=seed + rep, observer=observer
+    )
     rng = RngStream(seed + rep, bench, config_name)
     program = build_spmd_program(spec, team, rng)
     metrics = engine.run(program)
@@ -162,6 +169,7 @@ def run_synthetic(
     spec: SyntheticSpec | None = None,
     machine: MachineSpec | None = None,
     profile: str = "full",
+    observer: NullObserver = NULL_OBSERVER,
 ) -> RunRecord:
     """Execute one synthetic-benchmark run (Fig. 10)."""
     config = CONFIGS[config_name]
@@ -174,7 +182,9 @@ def run_synthetic(
         )
     if machine is None and profile != "full":
         machine = profile_machine(profile)
-    team, engine = _fresh_environment(config, policy, machine, age_seed=rep)
+    team, engine = _fresh_environment(
+        config, policy, machine, age_seed=rep, observer=observer
+    )
     program = build_synthetic_program(spec, team)
     metrics = engine.run(program)
     return _record_from_metrics(metrics, spec.name, policy, config_name, rep)
@@ -189,13 +199,21 @@ class SweepJob:
     rep: int
     profile: str = "scaled"
     seed: int = 0
+    #: when set, each run records a trace exported into this directory
+    #: (one Perfetto JSON + JSONL + counter CSV per run).
+    trace_dir: str | None = None
 
 
 def _run_job(job: SweepJob) -> RunRecord:
-    return run_benchmark(
+    observer: NullObserver = Observer() if job.trace_dir else NULL_OBSERVER
+    record = run_benchmark(
         job.bench, job.policy, job.config, rep=job.rep, seed=job.seed,
-        profile=job.profile,
+        profile=job.profile, observer=observer,
     )
+    if job.trace_dir:
+        stem = f"{job.bench}_{job.policy.label}_{job.config}_rep{job.rep}"
+        export_run(observer, job.trace_dir, stem)
+    return record
 
 
 def sweep(
@@ -207,15 +225,20 @@ def sweep(
     seed: int = 0,
     max_workers: int | None = None,
     parallel: bool | None = None,
+    trace_dir: str | None = None,
 ) -> list[RunRecord]:
     """Run the full cross product; this powers Figs. 11-14 in one pass.
 
     Fans out over a process pool when the host has multiple CPUs;
     single-core hosts run sequentially (fork + pickle overhead would only
-    slow them down).
+    slow them down).  ``trace_dir`` enables per-run tracing: each job
+    records its own :class:`repro.obs.Observer` (created inside the
+    worker, so the pool fan-out still pickles cleanly) and exports one
+    Perfetto/JSONL/CSV bundle into the directory.
     """
     jobs = [
-        SweepJob(bench=b, policy=p, config=c, rep=r, profile=profile, seed=seed)
+        SweepJob(bench=b, policy=p, config=c, rep=r, profile=profile,
+                 seed=seed, trace_dir=trace_dir)
         for b in benches
         for c in configs
         for p in policies

@@ -162,6 +162,11 @@ class ColorMatrix:
             for llc in self._llc_of_mem.get(mem, ())
         )
 
+    def free_count_colors(self, mem_colors: Iterable[int]) -> int:
+        """Total free frames across several bank colors (observability
+        gauge: one value per node's color-list slice)."""
+        return sum(self.free_count_mem(mem) for mem in mem_colors)
+
     def check_invariants(self) -> None:
         """Assert index consistency (used by property-based tests)."""
         total = 0

@@ -17,6 +17,7 @@ from repro.kernel.task import TaskStruct
 from repro.kernel.vm import AddressSpace, Vma
 from repro.machine.pci import probe_address_mapping
 from repro.machine.presets import MachineSpec
+from repro.obs.observer import NULL_OBSERVER, NullObserver
 
 
 class OutOfMemory(Exception):
@@ -72,6 +73,7 @@ class Kernel:
         refill_block_ns: float = 150.0,
         aged: bool = False,
         age_seed: int = 0,
+        observer: NullObserver = NULL_OBSERVER,
     ) -> None:
         self.machine = machine
         self.topology = machine.topology
@@ -80,7 +82,11 @@ class Kernel:
         if self.mapping != machine.mapping:
             raise RuntimeError("PCI probe disagrees with machine description")
         self.pool = FramePool(self.mapping)
-        self.page_allocator = PageAllocator(self.pool, self.topology)
+        self.obs = observer
+        self.page_allocator = PageAllocator(
+            self.pool, self.topology, observer=observer
+        )
+        self._register_counters(observer)
         if aged:
             self._age_system(age_seed)
         self.fault_base_ns = fault_base_ns
@@ -91,6 +97,31 @@ class Kernel:
         self._next_pid = 1
         #: cost of the most recent fault, read by the simulation engine.
         self.last_fault_charge: FaultCharge | None = None
+
+    def _register_counters(self, obs: NullObserver) -> None:
+        """Free-frame gauges: buddy totals and per-node color-list fill."""
+        if not obs.enabled:
+            return
+        pa = self.page_allocator
+        obs.register_counter(
+            "kernel.free.colored", lambda now: pa.colors.total_free
+        )
+        obs.register_counter(
+            "kernel.free.buddy",
+            lambda now: sum(b.free_frames() for b in pa.node_buddies),
+        )
+        for node in range(self.mapping.num_nodes):
+            colors = list(self.mapping.bank_colors_of_node(node))
+            obs.register_counter(
+                f"kernel.free.colored_node[{node}]",
+                lambda now, c=colors: pa.colors.free_count_colors(c),
+            )
+        obs.register_counter(
+            "kernel.colored_allocs", lambda now: pa.colored_allocs
+        )
+        obs.register_counter(
+            "kernel.refill_blocks", lambda now: pa.refill_blocks
+        )
 
     def _age_system(self, seed: int) -> None:
         """Fragment every node's free lists into shuffled order-0 frames."""

@@ -27,6 +27,7 @@ from repro.kernel.colorlist import ColorMatrix
 from repro.kernel.frame import FramePool, FrameState
 from repro.kernel.task import TaskStruct
 from repro.machine.topology import MachineTopology
+from repro.obs.observer import NULL_OBSERVER, NullObserver
 
 
 @dataclass(frozen=True)
@@ -54,9 +55,14 @@ class PageAllocator:
         self,
         pool: FramePool,
         topology: MachineTopology,
+        observer: NullObserver = NULL_OBSERVER,
     ) -> None:
         self.pool = pool
         self.topology = topology
+        # Event timestamps come from ``observer.now`` (the engine keeps
+        # it current while tracing); the allocator has no clock of its own.
+        self.obs = observer
+        self._obs_enabled = observer.enabled
         self.colors = ColorMatrix(pool)
         per_node = pool.frames_per_node
         self.node_buddies = [
@@ -93,6 +99,11 @@ class PageAllocator:
         if order == 0 and (task.using_bank or task.using_llc):
             self.pool.mark_buddy(pfn)  # reset state before push validates
             self.colors.push(pfn)
+            if self._obs_enabled:
+                self.obs.instant(
+                    "kernel.free.colored", self.obs.now, track="kernel",
+                    tid=task.tid, args={"pfn": pfn},
+                )
             return
         for f in range(pfn, pfn + (1 << order)):
             self.pool.mark_buddy(f)
@@ -129,12 +140,36 @@ class PageAllocator:
 
         if pfn is None:
             self.failed_colored += 1
+            if self._obs_enabled:
+                self.obs.instant(
+                    "kernel.alloc.failed", self.obs.now, track="kernel",
+                    tid=task.tid,
+                    args={"mem_colors": list(task.mem_colors),
+                          "llc_colors": list(task.llc_colors)},
+                )
             return None
         self.pool.mark_allocated(pfn, task.tid)
         task.pages_allocated += 1
         task.colored_allocations += 1
         task.color_list_refills += refills
         self.colored_allocs += 1
+        if self._obs_enabled:
+            obs = self.obs
+            obs.instant(
+                "kernel.alloc.colored", obs.now, track="kernel",
+                tid=task.tid,
+                args={"pfn": pfn,
+                      "bank_color": int(self.pool.bank_color[pfn]),
+                      "llc_color": int(self.pool.llc_color[pfn]),
+                      "refills": refills},
+            )
+            if refills:
+                # A spill: buddy blocks were shattered into the color
+                # lists to satisfy this request (Algorithm 2).
+                obs.instant(
+                    "kernel.color.refill", obs.now, track="kernel",
+                    tid=task.tid, args={"blocks": refills},
+                )
         return AllocOutcome(pfn=pfn, order=0, colored=True, refills=refills)
 
     def _pop_or_refill(

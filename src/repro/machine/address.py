@@ -27,7 +27,7 @@ from typing import Iterable, Mapping
 
 import numpy as np
 
-from repro.util.intmath import is_power_of_two, log2_exact, mask
+from repro.util.intmath import mask
 
 #: Decode order used by the controller and by Eq. (1)'s mixed radix.
 DRAM_FIELDS = ("node", "channel", "rank", "bank")

@@ -1,0 +1,47 @@
+"""Observability: zero-overhead-when-off tracing, counters, profiling.
+
+The simulator's hot layers (engine, kernel page allocation, cache
+hierarchy, DRAM system) accept an observer object.  The default
+:data:`NULL_OBSERVER` disables everything at effectively zero cost; an
+:class:`Observer` records structured spans, instant events, and counter
+time series that export to JSONL, Chrome/Perfetto ``trace_event`` JSON,
+and flat CSV.
+
+Typical use::
+
+    from repro.obs import Observer, export_run
+
+    obs = Observer(sample_interval_ns=2000.0)
+    record = run_synthetic(Policy.MEM_LLC, "8_threads_4_nodes",
+                           profile="mini", observer=obs)
+    export_run(obs, "traces", "synthetic_mem_llc")   # open .trace.json
+                                                     # in ui.perfetto.dev
+"""
+
+from repro.obs.events import InstantEvent, RingBuffer, SpanEvent
+from repro.obs.exporters import (
+    counters_to_csv,
+    export_run,
+    to_jsonl,
+    to_perfetto,
+    write_counters_csv,
+    write_jsonl,
+    write_perfetto,
+)
+from repro.obs.observer import NULL_OBSERVER, NullObserver, Observer
+
+__all__ = [
+    "InstantEvent",
+    "RingBuffer",
+    "SpanEvent",
+    "NullObserver",
+    "Observer",
+    "NULL_OBSERVER",
+    "to_jsonl",
+    "to_perfetto",
+    "counters_to_csv",
+    "write_jsonl",
+    "write_perfetto",
+    "write_counters_csv",
+    "export_run",
+]

@@ -1,0 +1,147 @@
+"""Trace exporters: JSONL, Chrome/Perfetto ``trace_event`` JSON, CSV.
+
+* JSONL — one JSON object per line, one line per event, in emission
+  order; the grep/jq-friendly archival format.
+* Perfetto — the ``trace_event`` schema understood by ``chrome://tracing``
+  and https://ui.perfetto.dev: complete spans as ``"X"`` events, instants
+  as ``"i"``, counter samples as ``"C"``.  Timestamps are microseconds
+  per the spec; simulated nanoseconds divide by 1000.
+* CSV — the counter time-series ring flattened to ``ts_ns`` plus one
+  column per registered counter, for ``repro.analysis`` / pandas.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+
+from repro.obs.events import SpanEvent
+from repro.obs.observer import Observer
+
+#: trace_event timestamps are expressed in microseconds.
+_NS_PER_US = 1000.0
+
+
+# ---------------------------------------------------------------------- JSONL
+def to_jsonl(obs: Observer) -> str:
+    """Serialise events (then counter samples) one JSON object per line."""
+    lines = [json.dumps(e.to_dict()) for e in obs.events]
+    names = obs.counter_names
+    for ts, row in obs.samples:
+        lines.append(json.dumps(
+            {"type": "sample", "ts": ts, "values": dict(zip(names, row))}
+        ))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_jsonl(obs: Observer, path: str) -> None:
+    Path(path).write_text(to_jsonl(obs))
+
+
+# ------------------------------------------------------------------- Perfetto
+def _track_pids(obs: Observer) -> dict[str, int]:
+    """Stable track -> pid assignment in first-appearance order."""
+    pids: dict[str, int] = {}
+    for event in obs.events:
+        if event.track not in pids:
+            pids[event.track] = len(pids) + 1
+    if obs.counter_names:
+        pids.setdefault("counters", len(pids) + 1)
+    return pids
+
+
+def to_perfetto(obs: Observer) -> dict:
+    """Build a ``chrome://tracing``-loadable trace_event document."""
+    pids = _track_pids(obs)
+    trace_events: list[dict] = [
+        {
+            "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+            "args": {"name": track},
+        }
+        for track, pid in pids.items()
+    ]
+    for event in obs.events:
+        pid = pids[event.track]
+        if isinstance(event, SpanEvent):
+            record = {
+                "ph": "X",
+                "name": event.name,
+                "cat": event.track,
+                "ts": event.begin / _NS_PER_US,
+                "dur": event.duration / _NS_PER_US,
+                "pid": pid,
+                "tid": event.tid,
+            }
+        else:
+            record = {
+                "ph": "i",
+                "s": "t",  # thread-scoped instant
+                "name": event.name,
+                "cat": event.track,
+                "ts": event.ts / _NS_PER_US,
+                "pid": pid,
+                "tid": event.tid,
+            }
+        if event.args:
+            record["args"] = event.args
+        trace_events.append(record)
+    counter_pid = pids.get("counters")
+    if counter_pid is not None:
+        names = obs.counter_names
+        for ts, row in obs.samples:
+            for name, value in zip(names, row):
+                trace_events.append({
+                    "ph": "C",
+                    "name": name,
+                    "ts": ts / _NS_PER_US,
+                    "pid": counter_pid,
+                    "tid": 0,
+                    "args": {"value": value},
+                })
+    return {"traceEvents": trace_events, "displayTimeUnit": "ns"}
+
+
+def write_perfetto(obs: Observer, path: str) -> None:
+    Path(path).write_text(json.dumps(to_perfetto(obs)))
+
+
+# ------------------------------------------------------------------------ CSV
+def counters_to_csv(obs: Observer) -> str:
+    """Counter timeline as CSV: ``ts_ns`` + one column per counter.
+
+    Rows are the surviving ring-buffer samples, oldest first.  When the
+    ring evicted samples the timeline is a suffix of the run — check
+    ``obs.samples.evicted`` (also surfaced by :func:`export_run`).
+    """
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(["ts_ns", *obs.counter_names])
+    for ts, row in obs.samples:
+        writer.writerow([ts, *row])
+    return out.getvalue()
+
+
+def write_counters_csv(obs: Observer, path: str) -> None:
+    Path(path).write_text(counters_to_csv(obs))
+
+
+# -------------------------------------------------------------------- bundles
+def export_run(obs: Observer, directory: str, stem: str) -> dict[str, str]:
+    """Write all three artefacts for one run; returns {kind: path}.
+
+    Produces ``<stem>.trace.json`` (Perfetto), ``<stem>.events.jsonl``
+    and ``<stem>.counters.csv`` under ``directory`` (created if needed).
+    """
+    out = Path(directory)
+    out.mkdir(parents=True, exist_ok=True)
+    paths = {
+        "perfetto": str(out / f"{stem}.trace.json"),
+        "jsonl": str(out / f"{stem}.events.jsonl"),
+        "counters": str(out / f"{stem}.counters.csv"),
+    }
+    write_perfetto(obs, paths["perfetto"])
+    write_jsonl(obs, paths["jsonl"])
+    write_counters_csv(obs, paths["counters"])
+    return paths

@@ -19,6 +19,7 @@ from repro.dram.bank import RowKind
 from repro.dram.system import DramSystem
 from repro.dram.timing import DEFAULT_TIMING, DramTiming
 from repro.machine.presets import MachineSpec
+from repro.obs.observer import NULL_OBSERVER, NullObserver
 from repro.sim.barrier import Program, Section
 from repro.sim.metrics import RunMetrics, SectionMetrics, ThreadMetrics
 
@@ -37,10 +38,14 @@ class MemorySystem:
         dram_timing: DramTiming = DEFAULT_TIMING,
         cache_timing: CacheTiming = CacheTiming(),
         prefetch: bool = False,
+        observer: NullObserver = NULL_OBSERVER,
     ) -> "MemorySystem":
-        dram = DramSystem(machine.mapping, machine.topology, dram_timing)
+        dram = DramSystem(
+            machine.mapping, machine.topology, dram_timing, observer=observer
+        )
         hierarchy = CacheHierarchy(
-            machine.topology, dram, cache_timing, prefetch=prefetch
+            machine.topology, dram, cache_timing, prefetch=prefetch,
+            observer=observer,
         )
         return cls(dram=dram, hierarchy=hierarchy)
 
@@ -57,11 +62,17 @@ class Engine:
         memory: the machine's cache/DRAM state.
     """
 
-    def __init__(self, team: ColoredTeam, memory: MemorySystem) -> None:
+    def __init__(
+        self,
+        team: ColoredTeam,
+        memory: MemorySystem,
+        observer: NullObserver = NULL_OBSERVER,
+    ) -> None:
         self.team = team
         self.memory = memory
         self.kernel = team.tm.kernel
         self.space = team.tm.process.address_space
+        self.observer = observer
 
     # ------------------------------------------------------------------ run
     def run(self, program: Program) -> RunMetrics:
@@ -80,8 +91,22 @@ class Engine:
             ThreadMetrics(thread=i, core=h.core)
             for i, h in enumerate(self.team.handles)
         ]
+        obs = self.observer
+        tracing = obs.enabled
+        if tracing:
+            obs.instant(
+                "run.begin", 0.0, track="engine",
+                args={"program": program.name, "policy": self.team.policy.label,
+                      "nthreads": self.team.nthreads},
+            )
         wall = 0.0
         for section in program.sections:
+            label = section.label or section.kind
+            if tracing:
+                obs.span_begin(
+                    label, wall, track="engine",
+                    args={"kind": section.kind, "accesses": section.accesses},
+                )
             faults_before = sum(t.faults for t in metrics.threads)
             fault_ns_before = sum(t.fault_ns for t in metrics.threads)
             ends = self._run_section(section, wall, metrics)
@@ -103,13 +128,24 @@ class Engine:
                     idle = section_end - ends[tidx]
                     tm.idle_time += idle
                     sm.idle += idle
+                    if tracing and idle > 0.0:
+                        obs.span(
+                            "barrier.wait", ends[tidx], section_end,
+                            track="threads", tid=tidx,
+                            args={"section": label,
+                                  "core": metrics.threads[tidx].core},
+                        )
             else:
                 metrics.serial_runtime += section_end - wall
+            if tracing:
+                obs.span_end(section_end, track="engine",
+                             args={"idle": sm.idle, "faults": sm.faults})
             metrics.sections.append(sm)
             wall = section_end
         metrics.runtime = wall
         metrics.dram = self.memory.dram.stats
         metrics.cache = self.memory.hierarchy.level_stats()
+        obs.finish(wall)
         return metrics
 
     # ------------------------------------------------------------------ section
@@ -123,7 +159,24 @@ class Engine:
         self, section: Section, start: float, metrics: RunMetrics
     ) -> dict[int, float]:
         """Run one section; returns per-thread end times (Algorithm 3's
-        ``end[tid]``)."""
+        ``end[tid]``).
+
+        Dispatches to the uninstrumented hot loop unless tracing is on —
+        the disabled-observer path must cost nothing per access
+        (guarded by ``benchmarks/test_obs_overhead.py``).
+        """
+        if self.observer.enabled:
+            return self._run_section_traced(section, start, metrics)
+        return self._run_section_fast(section, start, metrics)
+
+    def _run_section_fast(
+        self, section: Section, start: float, metrics: RunMetrics
+    ) -> dict[int, float]:
+        """The zero-observability hot loop.
+
+        NOTE: `_run_section_traced` mirrors this loop with tracing hooks;
+        behavioural changes must be applied to both.
+        """
         # Per-thread replay state.
         states: dict[int, list] = {}
         heap: list[tuple[float, int]] = []
@@ -187,6 +240,95 @@ class Engine:
                         tm.row_conflicts += 1
 
                 clock += thinks[i] + result.latency + fault_ns
+                i += 1
+                if i >= n:
+                    ends[tidx] = clock
+                    break
+                if clock > horizon:
+                    state[0] = i
+                    push(heap, (clock, tidx))
+                    break
+        return ends
+
+    def _run_section_traced(
+        self, section: Section, start: float, metrics: RunMetrics
+    ) -> dict[int, float]:
+        """`_run_section_fast` with observability hooks.
+
+        Adds, per access: the observer's sim-time cursor (so kernel
+        events carry timestamps), a span per page-fault service, and the
+        counter-sampling cadence check.  DRAM transaction spans are
+        emitted by :class:`~repro.dram.system.DramSystem` itself.  Keep
+        the replay logic in lockstep with `_run_section_fast`.
+        """
+        states: dict[int, list] = {}
+        heap: list[tuple[float, int]] = []
+        for tidx, trace in section.traces.items():
+            if len(trace) == 0:
+                continue
+            vaddrs, writes, thinks = trace.as_lists()
+            handle = self.team.handles[tidx]
+            states[tidx] = [0, vaddrs, writes, thinks, handle.task, handle.core]
+            heapq.heappush(heap, (start, tidx))
+        ends: dict[int, float] = {tidx: start for tidx in section.traces}
+        if not heap:
+            return ends
+
+        page_bits = self.kernel.mapping.page_bits
+        page_mask = (1 << page_bits) - 1
+        page_table = self.space.page_table
+        translate = self.space.translate
+        access = self.memory.hierarchy.access
+        kernel = self.kernel
+        threads = metrics.threads
+        DRAM = MemoryLevel.DRAM
+        CONFLICT = RowKind.CONFLICT
+        push, pop = heapq.heappush, heapq.heappop
+        slack = self.BATCH_SLACK_NS
+        inf = float("inf")
+        obs = self.observer
+        obs_span = obs.span
+        obs_sample = obs.maybe_sample
+
+        while heap:
+            clock, tidx = pop(heap)
+            state = states[tidx]
+            i, vaddrs, writes, thinks, task, core = state
+            tm = threads[tidx]
+            n = len(vaddrs)
+            horizon = (heap[0][0] + slack) if heap else inf
+
+            while True:
+                vaddr = vaddrs[i]
+                vpn = vaddr >> page_bits
+                pfn = page_table.get(vpn)
+                fault_ns = 0.0
+                if pfn is None:
+                    obs.now = clock
+                    paddr, _ = translate(vaddr, task)
+                    fault_ns = kernel.last_fault_charge.total_ns
+                    tm.faults += 1
+                    tm.fault_ns += fault_ns
+                    obs_span(
+                        "fault", clock, clock + fault_ns,
+                        track="threads", tid=tidx,
+                        args={"vpn": vpn, "core": core},
+                    )
+                else:
+                    paddr = (pfn << page_bits) | (vaddr & page_mask)
+
+                result = access(paddr, core, clock, writes[i])
+                tm.accesses += 1
+                if result.level is DRAM:
+                    dram = result.dram
+                    tm.dram_accesses += 1
+                    if dram.hops:
+                        tm.remote_accesses += 1
+                    if dram.row_kind is CONFLICT:
+                        tm.row_conflicts += 1
+
+                clock += thinks[i] + result.latency + fault_ns
+                obs_sample(clock)
                 i += 1
                 if i >= n:
                     ends[tidx] = clock

@@ -110,6 +110,16 @@ class RunMetrics:
         remote = sum(t.remote_accesses for t in self.threads)
         return remote / total if total else 0.0
 
+    @property
+    def total_faults(self) -> int:
+        """Demand faults summed over all threads."""
+        return sum(t.faults for t in self.threads)
+
+    @property
+    def total_fault_ns(self) -> float:
+        """Fault-service time summed over all threads (first-touch cost)."""
+        return sum(t.fault_ns for t in self.threads)
+
     def section(self, label: str) -> SectionMetrics:
         """Look up a section's metrics by label; raises KeyError if absent."""
         for s in self.sections:
@@ -135,4 +145,7 @@ class RunMetrics:
             "runtime_spread": self.runtime_spread,
             "max_thread_idle": self.max_thread_idle,
             "remote_fraction": self.remote_fraction,
+            "total_faults": self.total_faults,
+            "total_fault_ns": self.total_fault_ns,
+            "barriers": self.barriers,
         }

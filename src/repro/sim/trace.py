@@ -9,7 +9,7 @@ access on Python ints is much faster than NumPy scalar extraction).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -58,8 +58,15 @@ class Trace:
         return self.vaddrs.tolist(), self.writes.tolist(), think
 
     @staticmethod
-    def concat(traces: "list[Trace]", label: str = "") -> "Trace":
-        """Concatenate traces back-to-back (per-access think preserved)."""
+    def concat(traces: "list[Trace]", label: str | None = None) -> "Trace":
+        """Concatenate traces back-to-back (per-access think preserved).
+
+        An explicitly passed ``label`` (including ``""``) always names
+        the result; only when omitted are the input labels joined with
+        ``+``.  Empty and non-empty inputs follow the same rule.
+        """
+        if label is None:
+            label = "+".join(filter(None, (t.label for t in traces)))
         if not traces:
             return Trace(np.empty(0, np.int64), np.empty(0, bool), 0.0, label)
         thinks = []
@@ -72,7 +79,7 @@ class Trace:
             vaddrs=np.concatenate([t.vaddrs for t in traces]),
             writes=np.concatenate([t.writes for t in traces]),
             think_ns=np.concatenate(thinks),
-            label=label or "+".join(filter(None, (t.label for t in traces))),
+            label=label,
         )
 
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.alloc.heap import ARENA_CHUNK, HeapAllocator, size_class_of
-from repro.core.tintmalloc import TintMalloc
 
 
 @pytest.fixture

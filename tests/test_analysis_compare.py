@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis.compare import Comparison, compare, comparison_table
+from repro.analysis.compare import compare, comparison_table
 
 
 class TestCompare:

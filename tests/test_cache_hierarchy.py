@@ -4,7 +4,6 @@ import pytest
 
 from repro.cache.hierarchy import CacheHierarchy, CacheTiming, MemoryLevel
 from repro.dram.system import DramSystem
-from repro.machine.presets import tiny_machine
 
 
 @pytest.fixture

@@ -1,6 +1,5 @@
 """Unit tests for the stride prefetcher and its hierarchy integration."""
 
-import pytest
 
 from repro.cache.hierarchy import CacheHierarchy, MemoryLevel
 from repro.cache.prefetch import StridePrefetcher

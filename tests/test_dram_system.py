@@ -6,7 +6,6 @@ from repro.dram.bank import RowKind
 from repro.dram.interconnect import Interconnect
 from repro.dram.system import DramSystem
 from repro.dram.timing import DramTiming
-from repro.machine.presets import tiny_machine
 
 T = DramTiming()
 

@@ -1,7 +1,6 @@
 """Focused tests for smaller units: TaskStruct, DramStats, Policy,
 ColorMatrix counters, empty-trace sections."""
 
-import numpy as np
 import pytest
 
 from repro.alloc.policies import ALL_POLICIES, TINT_VARIANTS, Policy

@@ -1,0 +1,118 @@
+"""Unit tests for the trace exporters (JSONL, Perfetto, counter CSV)."""
+
+import csv
+import io
+import json
+
+from repro.obs import (
+    Observer,
+    counters_to_csv,
+    export_run,
+    to_jsonl,
+    to_perfetto,
+)
+
+
+def recording_observer() -> Observer:
+    obs = Observer(sample_interval_ns=0.0)
+    obs.register_counter("dram.row_conflicts", lambda now: int(now) * 2)
+    obs.register_counter("cache.llc.misses", lambda now: int(now) * 3)
+    obs.span("compute", 0.0, 1000.0, track="engine", args={"kind": "parallel"})
+    obs.span("dram.access", 100.0, 180.0, track="dram", tid=1,
+             args={"bank": 5, "row": "conflict"})
+    obs.instant("kernel.alloc.colored", 150.0, track="kernel", tid=3,
+                args={"pfn": 42})
+    obs.sample(100.0)
+    obs.sample(200.0)
+    return obs
+
+
+class TestJsonl:
+    def test_one_event_per_line_roundtrip(self):
+        obs = recording_observer()
+        lines = to_jsonl(obs).splitlines()
+        # 3 events + 2 samples, each line independently parseable.
+        assert len(lines) == 5
+        parsed = [json.loads(line) for line in lines]
+        assert [p["type"] for p in parsed] == [
+            "span", "span", "instant", "sample", "sample",
+        ]
+        assert parsed[0]["name"] == "compute"
+        assert parsed[2]["args"] == {"pfn": 42}
+        assert parsed[4]["values"] == {
+            "dram.row_conflicts": 400, "cache.llc.misses": 600,
+        }
+
+    def test_empty_observer(self):
+        assert to_jsonl(Observer()) == ""
+
+
+class TestPerfetto:
+    def test_roundtrips_through_json(self):
+        doc = to_perfetto(recording_observer())
+        assert json.loads(json.dumps(doc)) == doc
+
+    def test_event_schema(self):
+        doc = to_perfetto(recording_observer())
+        events = doc["traceEvents"]
+        assert doc["displayTimeUnit"] == "ns"
+        for e in events:
+            assert "ph" in e and "pid" in e and "tid" in e
+            if e["ph"] != "M":
+                assert "ts" in e
+        spans = [e for e in events if e["ph"] == "X"]
+        assert {s["name"] for s in spans} == {"compute", "dram.access"}
+        # ts/dur are microseconds (trace_event spec); sim time is ns.
+        compute = next(s for s in spans if s["name"] == "compute")
+        assert compute["ts"] == 0.0 and compute["dur"] == 1.0
+        instants = [e for e in events if e["ph"] == "i"]
+        assert instants[0]["name"] == "kernel.alloc.colored"
+
+    def test_tracks_become_processes(self):
+        doc = to_perfetto(recording_observer())
+        meta = {
+            e["args"]["name"]: e["pid"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert set(meta) == {"engine", "dram", "kernel", "counters"}
+        span = next(e for e in doc["traceEvents"]
+                    if e["ph"] == "X" and e["name"] == "dram.access")
+        assert span["pid"] == meta["dram"]
+
+    def test_counter_events(self):
+        doc = to_perfetto(recording_observer())
+        counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        # 2 samples x 2 counters.
+        assert len(counters) == 4
+        assert all("value" in c["args"] for c in counters)
+        names = {c["name"] for c in counters}
+        assert names == {"dram.row_conflicts", "cache.llc.misses"}
+
+
+class TestCountersCsv:
+    def test_columns_match_registered_counters(self):
+        obs = recording_observer()
+        rows = list(csv.reader(io.StringIO(counters_to_csv(obs))))
+        assert rows[0] == ["ts_ns", *obs.counter_names]
+        assert len(rows) == 1 + len(obs.samples)
+        assert [float(x) for x in rows[1]] == [100.0, 200.0, 300.0]
+        assert [float(x) for x in rows[2]] == [200.0, 400.0, 600.0]
+
+    def test_no_counters_header_only(self):
+        obs = Observer()
+        obs.sample(5.0)
+        rows = list(csv.reader(io.StringIO(counters_to_csv(obs))))
+        assert rows[0] == ["ts_ns"]
+
+
+class TestExportRun:
+    def test_writes_all_three_artifacts(self, tmp_path):
+        obs = recording_observer()
+        paths = export_run(obs, str(tmp_path / "traces"), "run0")
+        assert set(paths) == {"perfetto", "jsonl", "counters"}
+        perfetto = json.loads(open(paths["perfetto"]).read())
+        assert "traceEvents" in perfetto
+        assert len(open(paths["jsonl"]).read().splitlines()) == 5
+        header = open(paths["counters"]).readline().strip().split(",")
+        assert header == ["ts_ns", *obs.counter_names]

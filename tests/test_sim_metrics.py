@@ -1,6 +1,5 @@
 """Unit tests for RunMetrics/ThreadMetrics roll-ups."""
 
-import pytest
 
 from repro.sim.metrics import RunMetrics, ThreadMetrics
 
@@ -49,8 +48,23 @@ class TestRollups:
         m = metrics_with([1.0, 2.0], [0.5, 0.0])
         s = m.summary()
         for key in ("runtime", "total_idle", "runtime_spread",
-                    "max_thread_idle", "remote_fraction"):
+                    "max_thread_idle", "remote_fraction",
+                    "total_faults", "total_fault_ns", "barriers"):
             assert key in s
+
+    def test_summary_fault_rollups(self):
+        m = metrics_with([1.0, 2.0], [0.0, 0.0])
+        m.threads[0].faults = 3
+        m.threads[0].fault_ns = 450.0
+        m.threads[1].faults = 2
+        m.threads[1].fault_ns = 300.0
+        m.barriers = 4
+        s = m.summary()
+        assert s["total_faults"] == 5
+        assert s["total_fault_ns"] == 750.0
+        assert s["barriers"] == 4
+        assert m.total_faults == 5
+        assert m.total_fault_ns == 750.0
 
     def test_lists(self):
         m = metrics_with([1.0, 2.0], [0.5, 0.0])

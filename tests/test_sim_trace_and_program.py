@@ -47,6 +47,21 @@ class TestTrace:
     def test_concat_empty(self):
         assert len(Trace.concat([])) == 0
 
+    def test_concat_joins_labels_when_label_omitted(self):
+        a, b = make_trace(2), make_trace(2)
+        a.label, b.label = "a", "b"
+        assert Trace.concat([a, b]).label == "a+b"
+
+    def test_concat_explicit_label_always_wins(self):
+        """Regression: an explicit label (even "") must override joining."""
+        a, b = make_trace(2), make_trace(2)
+        a.label, b.label = "a", "b"
+        assert Trace.concat([a, b], label="joined").label == "joined"
+        assert Trace.concat([a, b], label="").label == ""
+        # Empty input behaves identically.
+        assert Trace.concat([], label="joined").label == "joined"
+        assert Trace.concat([]).label == ""
+
     def test_empty_trace(self):
         assert len(empty_trace()) == 0
 

@@ -91,7 +91,6 @@ class TestRebase:
         from repro.alloc.policies import Policy
         from repro.core.session import ColoredTeam
         from repro.core.tintmalloc import TintMalloc
-        from repro.kernel.kernel import Kernel
         from repro.machine.presets import tiny_machine
         from repro.sim.engine import Engine, MemorySystem
         from repro.util.rng import RngStream

@@ -5,7 +5,6 @@ re-tuning cannot silently contradict the qualitative facts the models are
 built from.
 """
 
-import pytest
 
 from repro.machine.presets import opteron_6128
 from repro.workloads.registry import BENCH_ORDER, get_workload

@@ -6,7 +6,6 @@ import pytest
 from repro.alloc.policies import Policy
 from repro.core.session import ColoredTeam
 from repro.core.tintmalloc import TintMalloc
-from repro.kernel.kernel import Kernel
 from repro.machine.presets import tiny_machine
 from repro.util.rng import RngStream
 from repro.util.units import KIB
