@@ -1,0 +1,190 @@
+"""Engine performance baseline: measure, compare, and record.
+
+Runs the fig. 11 sweep (every benchmark x BUDDY/MEM+LLC on one config)
+twice — once through the engine's batched fast path and once through the
+reference loop (``Engine(fast_path=False)``) — and reports:
+
+* wall-clock seconds for each path and the fast/reference speedup,
+* simulated memory accesses per wall-second (throughput),
+* whether the two paths produced bit-identical metrics (they must).
+
+Results are appended as one trajectory point to ``BENCH_engine.json`` at
+the repo root with ``--update``; otherwise they are written to
+``benchmarks/out/BENCH_engine.json`` (the CI artifact) and printed.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_baseline.py            # measure
+    PYTHONPATH=src python benchmarks/perf_baseline.py --update   # + append
+
+The trajectory in BENCH_engine.json is the repo's performance history:
+one entry per PR that touched engine speed, oldest first.  Compare
+``fast_wall_s`` across entries for cross-PR progress; within an entry,
+``speedup`` is fast-vs-reference *on the same code*, so layer-level
+optimisations (shared by both paths) do not inflate it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.alloc.policies import Policy  # noqa: E402
+from repro.experiments.configs import CONFIGS  # noqa: E402
+from repro.experiments.runner import (  # noqa: E402
+    _fresh_environment,
+    profile_machine,
+    profile_scale,
+)
+from repro.util.rng import RngStream  # noqa: E402
+from repro.workloads.base import build_spmd_program  # noqa: E402
+from repro.workloads.registry import BENCH_ORDER, get_workload  # noqa: E402
+
+CONFIG = "16_threads_4_nodes"
+POLICIES = (Policy.BUDDY, Policy.MEM_LLC)
+
+
+def _snapshot(metrics) -> dict:
+    """Complete, comparable view of a run (for the bit-identity check)."""
+    return {
+        "summary": metrics.summary(),
+        "runtime": metrics.runtime,
+        "threads": [dataclasses.asdict(t) for t in metrics.threads],
+        "sections": [dataclasses.asdict(s) for s in metrics.sections],
+        "dram": dataclasses.asdict(metrics.dram),
+        "cache": {k: (v.hits, v.misses) for k, v in metrics.cache.items()},
+    }
+
+
+def _run_one(bench: str, policy: Policy, profile: str, fast: bool):
+    """One benchmark run; returns (wall seconds, accesses, snapshot)."""
+    machine = profile_machine(profile)
+    team, engine = _fresh_environment(
+        CONFIGS[CONFIG], policy, machine, age_seed=0
+    )
+    engine.fast_path = fast
+    spec = get_workload(bench).scaled(profile_scale(profile))
+    program = build_spmd_program(spec, team, RngStream(0, bench, CONFIG))
+    t0 = time.perf_counter()
+    metrics = engine.run(program)
+    wall = time.perf_counter() - t0
+    accesses = sum(t.accesses for t in metrics.threads)
+    return wall, accesses, _snapshot(metrics)
+
+
+def measure_pair(
+    profile: str = "scaled", benches: list[str] | None = None
+) -> dict:
+    """Run the sweep through both engine paths, interleaved per run.
+
+    Interleaving (both paths for each bench/policy before moving on)
+    cancels slow machine-load drift out of the speedup ratio, and the
+    path that runs first alternates per pair so neither systematically
+    pays the cold-start cost.  Returns the measurement dict (one
+    BENCH_engine.json trajectory point, minus provenance fields).
+    """
+    benches = list(benches) if benches else list(BENCH_ORDER)
+    fast_wall = 0.0
+    ref_wall = 0.0
+    accesses = 0
+    identical = True
+    pair_index = 0
+    for bench in benches:
+        for policy in POLICIES:
+            if pair_index % 2 == 0:
+                fw, acc, fast_snap = _run_one(bench, policy, profile, True)
+                rw, _, ref_snap = _run_one(bench, policy, profile, False)
+            else:
+                rw, _, ref_snap = _run_one(bench, policy, profile, False)
+                fw, acc, fast_snap = _run_one(bench, policy, profile, True)
+            pair_index += 1
+            fast_wall += fw
+            ref_wall += rw
+            accesses += acc
+            if fast_snap != ref_snap:
+                identical = False
+                print(
+                    f"BIT-IDENTITY VIOLATION: {bench}/{policy.label}",
+                    file=sys.stderr,
+                )
+    return {
+        "profile": profile,
+        "config": CONFIG,
+        "benches": benches,
+        "policies": [p.label for p in POLICIES],
+        "fast_wall_s": round(fast_wall, 3),
+        "ref_wall_s": round(ref_wall, 3),
+        "speedup": round(ref_wall / fast_wall, 3) if fast_wall else None,
+        "sim_accesses": accesses,
+        "accesses_per_s": int(accesses / fast_wall) if fast_wall else None,
+        "identical": identical,
+    }
+
+
+def _provenance() -> dict:
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT, capture_output=True, text=True, check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        commit = "unknown"
+    return {
+        "date": time.strftime("%Y-%m-%d"),
+        "commit": commit,
+        "python": platform.python_version(),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--profile", default="scaled", choices=["mini", "scaled", "full"],
+        help="run profile (default: scaled — the fig. 11 benchmark setting)",
+    )
+    parser.add_argument(
+        "--benches", default=None,
+        help="comma-separated benchmark subset (default: all)",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="append this measurement to BENCH_engine.json at the repo root",
+    )
+    args = parser.parse_args(argv)
+
+    benches = args.benches.split(",") if args.benches else None
+    entry = {**_provenance(), **measure_pair(args.profile, benches)}
+    print(json.dumps(entry, indent=2))
+
+    out_dir = Path(__file__).parent / "out"
+    out_dir.mkdir(exist_ok=True)
+    (out_dir / "BENCH_engine.json").write_text(json.dumps(entry, indent=2))
+
+    if args.update:
+        bench_file = REPO_ROOT / "BENCH_engine.json"
+        doc = json.loads(bench_file.read_text()) if bench_file.exists() else {
+            "benchmark": "fig11_sweep_engine",
+            "description": (
+                "Engine replay performance on the fig. 11 sweep "
+                "(benches x {BUDDY, MEM+LLC}, sequential, one rep)."
+            ),
+            "trajectory": [],
+        }
+        doc["trajectory"].append(entry)
+        bench_file.write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"appended to {bench_file}")
+
+    return 0 if entry["identical"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

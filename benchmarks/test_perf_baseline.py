@@ -1,0 +1,63 @@
+"""Tier-2 guard over the engine perf baseline (see perf_baseline.py).
+
+Asserts the two properties of the fast path that must hold on any
+machine:
+
+* **Bit identity** — fast and reference paths produce identical metrics
+  on every measured run (the fast path's hard correctness contract).
+* **No regression** — the fast path is never meaningfully slower than
+  the reference loop (small tolerance for wall-clock noise).
+
+Cross-PR wall-clock progress is *not* asserted here — absolute seconds
+are machine-specific.  That history lives in the BENCH_engine.json
+trajectory at the repo root, appended to by perf_baseline.py --update on
+the development machine.  This module writes the current measurement to
+``benchmarks/out/BENCH_engine.json`` so CI can upload it as an artifact.
+
+Environment knobs: ``REPRO_BENCH_PROFILE`` (default "mini" here — the
+guard must stay quick), ``REPRO_BENCH_PERF_BENCHES`` (comma-separated,
+default "lbm,freqmine": the two most memory-bound workloads).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from benchmarks.perf_baseline import measure_pair
+
+PROFILE = os.environ.get("REPRO_BENCH_PROFILE", "mini")
+BENCHES = os.environ.get("REPRO_BENCH_PERF_BENCHES", "lbm,freqmine").split(",")
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="module")
+def measurement():
+    entry = measure_pair(profile=PROFILE, benches=BENCHES)
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "BENCH_engine.json").write_text(json.dumps(entry, indent=2))
+    return entry
+
+
+def test_fast_path_is_bit_identical(measurement):
+    assert measurement["identical"], (
+        "fast path diverged from the reference loop; "
+        "see tests/test_sim_engine_equivalence.py to localise it"
+    )
+
+
+def test_fast_path_not_slower(measurement):
+    fast, ref = measurement["fast_wall_s"], measurement["ref_wall_s"]
+    assert fast <= ref * 1.15, (
+        f"fast path slower than reference: {fast:.2f}s vs {ref:.2f}s"
+    )
+
+
+def test_throughput_is_recorded(measurement):
+    assert measurement["sim_accesses"] > 0
+    assert measurement["accesses_per_s"] > 0
+    assert (OUT_DIR / "BENCH_engine.json").exists()

@@ -2,21 +2,31 @@
 
 Tags are full line addresses (physical address >> offset bits), so the
 model is exact regardless of which address bits form the set index.
-Per-set recency is a Python list with the MRU entry last; with the small
-associativities involved (<= 24 ways) list operations beat any clever
-structure.
+Per-set state is one insertion-ordered dict mapping line address -> dirty
+bit, with the MRU entry last: a hit is one ``dict.pop`` + reinsert, an
+eviction is ``next(iter(...))`` — all O(1), no list scans and no control
+flow via exceptions on the miss path (this is the simulator's hottest
+data structure; see docs/ARCHITECTURE.md, "Fast path").
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import NamedTuple
 
 from repro.machine.topology import CacheGeometry
 
+#: Miss sentinel for ``dict.pop`` (distinguishes "absent" from a stored
+#: ``False`` dirty bit without a second hash lookup).
+_ABSENT = object()
 
-@dataclass(frozen=True)
-class EvictedLine:
-    """A line pushed out of a cache by an insertion."""
+
+class EvictedLine(NamedTuple):
+    """A line pushed out of a cache by an insertion.
+
+    A NamedTuple rather than a dataclass: three are constructed per
+    LLC-missing access on the fill path, and tuple construction is
+    several times cheaper than a frozen dataclass ``__init__``.
+    """
 
     line_addr: int
     dirty: bool
@@ -36,7 +46,7 @@ class Cache:
     """
 
     __slots__ = ("geometry", "name", "num_sets", "_set_mask", "_offset_bits",
-                 "_index_bits", "_hash", "_sets", "_dirty", "hits", "misses")
+                 "_index_bits", "_hash", "_ways", "_sets", "hits", "misses")
 
     def __init__(
         self, geometry: CacheGeometry, name: str = "cache",
@@ -49,8 +59,11 @@ class Cache:
         self._offset_bits = geometry.offset_bits
         self._index_bits = geometry.index_bits
         self._hash = hash_index
-        self._sets: list[list[int]] = [[] for _ in range(geometry.num_sets)]
-        self._dirty: set[int] = set()
+        self._ways = geometry.ways
+        # line address -> dirty bit, insertion-ordered (LRU first, MRU last).
+        self._sets: list[dict[int, bool]] = [
+            {} for _ in range(geometry.num_sets)
+        ]
         self.hits = 0
         self.misses = 0
 
@@ -64,9 +77,11 @@ class Cache:
         return line_addr & self._set_mask
 
     def set_index_of(self, paddr: int) -> int:
+        """Set index of a byte address."""
         return self.set_of_line(paddr >> self._offset_bits)
 
     def line_addr_of(self, paddr: int) -> int:
+        """Line address (tag) of a byte address."""
         return paddr >> self._offset_bits
 
     # ------------------------------------------------------------------ ops
@@ -79,14 +94,11 @@ class Cache:
         else:
             idx = line_addr & self._set_mask
         entries = self._sets[idx]
-        try:
-            entries.remove(line_addr)
-        except ValueError:
+        dirty = entries.pop(line_addr, _ABSENT)
+        if dirty is _ABSENT:
             self.misses += 1
             return False
-        entries.append(line_addr)
-        if is_write:
-            self._dirty.add(line_addr)
+        entries[line_addr] = dirty or is_write
         self.hits += 1
         return True
 
@@ -102,47 +114,49 @@ class Cache:
             idx = line_addr & self._set_mask
         entries = self._sets[idx]
         victim: EvictedLine | None = None
-        if line_addr in entries:
-            # Refresh an already-present line (e.g. refill racing a hit).
-            entries.remove(line_addr)
-        elif len(entries) >= self.geometry.ways:
-            old = entries.pop(0)
-            was_dirty = old in self._dirty
-            if was_dirty:
-                self._dirty.discard(old)
-            victim = EvictedLine(line_addr=old, dirty=was_dirty)
-        entries.append(line_addr)
-        if dirty:
-            self._dirty.add(line_addr)
+        present = entries.pop(line_addr, _ABSENT)
+        if present is not _ABSENT:
+            # Refresh an already-present line (e.g. refill racing a hit);
+            # an established dirty bit survives a clean refill.
+            dirty = present or dirty
+        elif len(entries) >= self._ways:
+            old = next(iter(entries))
+            victim = EvictedLine(line_addr=old, dirty=entries.pop(old))
+        entries[line_addr] = dirty
         return victim
 
     def contains(self, line_addr: int) -> bool:
+        """Whether the line is resident (no LRU refresh)."""
         return line_addr in self._sets[self.set_of_line(line_addr)]
 
     def mark_dirty(self, line_addr: int) -> bool:
-        """Set the dirty bit if present; returns whether the line was found."""
-        if self.contains(line_addr):
-            self._dirty.add(line_addr)
+        """Set the dirty bit if present; returns whether the line was found.
+
+        Does not refresh LRU recency (a write-down from an inner cache is
+        not a use of the line by the core).
+        """
+        entries = self._sets[self.set_of_line(line_addr)]
+        if line_addr in entries:
+            entries[line_addr] = True
             return True
         return False
 
     def invalidate(self, line_addr: int) -> bool:
         """Drop a line (no write-back); returns whether it was present."""
         entries = self._sets[self.set_of_line(line_addr)]
-        try:
-            entries.remove(line_addr)
-        except ValueError:
+        if entries.pop(line_addr, _ABSENT) is _ABSENT:
             return False
-        self._dirty.discard(line_addr)
         return True
 
     # ------------------------------------------------------------------ info
     @property
     def accesses(self) -> int:
+        """Total lookups (hits + misses)."""
         return self.hits + self.misses
 
     @property
     def miss_rate(self) -> float:
+        """Fraction of lookups that missed (0.0 when never accessed)."""
         return self.misses / self.accesses if self.accesses else 0.0
 
     def occupancy(self) -> int:
@@ -150,12 +164,13 @@ class Cache:
         return sum(len(s) for s in self._sets)
 
     def occupancy_of_set(self, index: int) -> int:
+        """Number of valid lines in one set."""
         return len(self._sets[index])
 
     def reset(self) -> None:
+        """Drop all lines and zero the hit/miss counters."""
         for s in self._sets:
             s.clear()
-        self._dirty.clear()
         self.hits = 0
         self.misses = 0
 

@@ -13,12 +13,12 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-from repro.cache.cache import Cache
+from repro.cache.cache import _ABSENT, Cache
 from repro.cache.prefetch import StridePrefetcher
 from repro.cache.stats import CacheLevelStats
 from repro.dram.system import AccessResult, DramSystem
 from repro.machine.topology import MachineTopology
-from repro.obs.observer import NULL_OBSERVER, NullObserver
+from repro.obs.observer import NULL_OBSERVER, BaseObserver
 
 
 class MemoryLevel(enum.Enum):
@@ -72,7 +72,7 @@ class CacheHierarchy:
         timing: CacheTiming = CacheTiming(),
         prefetch: bool = False,
         prefetch_depth: int = 2,
-        observer: NullObserver = NULL_OBSERVER,
+        observer: BaseObserver = NULL_OBSERVER,
     ) -> None:
         self.topology = topology
         self.dram = dram
@@ -102,6 +102,31 @@ class CacheHierarchy:
         ]
         self.llc = Cache(topology.llc, name="llc", hash_index=False)
         self._line_bits = topology.llc.offset_bits
+        # The LLC is plain-indexed (asserted above by construction), so its
+        # set index is just ``line & mask``.  The hot path below operates on
+        # its per-set dicts directly, skipping Cache method dispatch; the
+        # bindings stay valid across Cache.reset() (sets are cleared in
+        # place, the list object is reused).
+        self._llc_sets = self.llc._sets
+        self._llc_mask = self.llc._set_mask
+        self._llc_ways = topology.llc.ways
+        # Same for the private caches (all cores share one geometry): the
+        # set lists are indexed by core, the hashed-index parameters are
+        # bound once.  Used by the inlined probe/fill code below.
+        self._l1_sets = [c._sets for c in self.l1]
+        self._l2_sets = [c._sets for c in self.l2]
+        # One row per core for the hot path: (L2 cache, L2 sets, L1 sets)
+        # — a single indexed load + unpack instead of three.
+        self._percore = [
+            (self.l2[c], self._l2_sets[c], self._l1_sets[c])
+            for c in range(topology.num_cores)
+        ]
+        self._l1_mask = topology.l1.num_sets - 1
+        self._l1_ib = topology.l1.index_bits
+        self._l1_ways = topology.l1.ways
+        self._l2_mask = topology.l2.num_sets - 1
+        self._l2_ib = topology.l2.index_bits
+        self._l2_ways = topology.l2.ways
         # Hit outcomes are identical for every access at a level; reuse one
         # immutable result object per level (hot-path allocation saving).
         self._r_l1 = HierarchyResult(timing.l1_hit, MemoryLevel.L1)
@@ -109,7 +134,7 @@ class CacheHierarchy:
         self._r_llc = HierarchyResult(timing.llc_hit, MemoryLevel.LLC)
         self._register_counters(observer)
 
-    def _register_counters(self, obs: NullObserver) -> None:
+    def _register_counters(self, obs: BaseObserver) -> None:
         """Per-level hit/miss counters, sampled from the live caches.
 
         Pull-based: the lookup path stays untouched; the observer sums
@@ -136,35 +161,111 @@ class CacheHierarchy:
     def access(
         self, paddr: int, core: int, now: float, is_write: bool = False
     ) -> HierarchyResult:
-        """Run one line-granular access; returns latency and the hit level."""
+        """Run one line-granular access; returns latency and the hit level.
+
+        Args:
+            paddr: physical byte address.
+            core: issuing core (selects the private L1/L2 pair).
+            now: issue time in ns.
+            is_write: write accesses set dirty bits on the hit line.
+
+        Returns:
+            A :class:`HierarchyResult`; ``dram`` is populated only when
+            the access went to memory.
+        """
         line = paddr >> self._line_bits
-        t = self.timing
         if self.l1[core].lookup(line, is_write):
             return self._r_l1
+        return self.access_after_l1(line, paddr, core, now, is_write)
 
-        if self.l2[core].lookup(line, is_write):
-            self._fill_l1(core, line, is_write, now)
+    def access_after_l1(
+        self, line: int, paddr: int, core: int, now: float, is_write: bool
+    ) -> HierarchyResult:
+        """Continue an access whose L1 lookup already missed.
+
+        The engine's fast path probes the issuing core's L1 directly
+        (``hierarchy.l1[core].lookup``) and only enters the hierarchy on a
+        miss; this entry point avoids a second L1 probe, which would
+        double-count misses and perturb LRU state.  ``line`` must equal
+        ``paddr >> line_bits`` for the hierarchy's line size.
+        """
+        # L2 probe (Cache.lookup, inlined: hashed set index, pop+reinsert
+        # refreshes LRU, dirty |= is_write; counters live on the Cache).
+        l2, l2_sets, l1_sets = self._percore[core]
+        ib = self._l2_ib
+        l2_set = l2_sets[
+            (line ^ (line >> ib) ^ (line >> (ib + ib))) & self._l2_mask
+        ]
+        l2_dirty = l2_set.pop(line, _ABSENT)
+        if l2_dirty is not _ABSENT:
+            l2.hits += 1
+            l2_set[line] = l2_dirty or is_write
+            # _fill_l1() = Cache.insert + victim write-down, inlined.
+            ib = self._l1_ib
+            l1_set = l1_sets[
+                (line ^ (line >> ib) ^ (line >> (ib + ib))) & self._l1_mask
+            ]
+            present = l1_set.pop(line, _ABSENT)
+            if present is not _ABSENT:
+                l1_set[line] = present or is_write
+            elif len(l1_set) >= self._l1_ways:
+                old = next(iter(l1_set))
+                old_dirty = l1_set.pop(old)
+                l1_set[line] = is_write
+                if old_dirty:
+                    # L2 absorbs the dirty victim if present, else the LLC
+                    # (Cache.mark_dirty, inlined: no LRU refresh).
+                    ib = self._l2_ib
+                    down = l2_sets[
+                        (old ^ (old >> ib) ^ (old >> (ib + ib)))
+                        & self._l2_mask
+                    ]
+                    if old in down:
+                        down[old] = True
+                    else:
+                        self._spill_to_llc(old, now)
+            else:
+                l1_set[line] = is_write
             if self.prefetchers is not None:
                 if line in self._prefetched[core]:
                     self._prefetched[core].discard(line)
                     self.prefetchers[core].useful += 1
                 self._issue_prefetches(core, paddr, now)
             return self._r_l2
+        l2.misses += 1
 
-        if self.llc.lookup(line, is_write):
+        # LLC probe with direct set-dict access (Cache.lookup, inlined: the
+        # LLC is plain-indexed, so the index is one mask).  Semantics are
+        # identical: pop+reinsert refreshes LRU, dirty |= is_write.
+        llc = self.llc
+        llc_set = self._llc_sets[line & self._llc_mask]
+        dirty = llc_set.pop(line, _ABSENT)
+        if dirty is not _ABSENT:
+            llc.hits += 1
+            llc_set[line] = dirty or is_write
             self._fill_private(core, line, is_write, now)
             return self._r_llc
+        llc.misses += 1
 
         # LLC miss -> DRAM.
-        dram_result = self.dram.access(paddr, core, now, is_write)
-        victim = self.llc.insert(line, dirty=is_write)
-        if victim is not None and victim.dirty:
-            self.dram.writeback(victim.line_addr << self._line_bits, now)
+        dram = self.dram
+        dram_result = dram.access(paddr, core, now, is_write)
+        # Cache.insert() on the missing set, inlined: evict the LRU entry
+        # of a full set (dirty victims become posted DRAM write-backs),
+        # then install the new line with the access's dirty bit.
+        if len(llc_set) >= self._llc_ways:
+            old = next(iter(llc_set))
+            if llc_set.pop(old):
+                dram.writeback(old << self._line_bits, now)
+        llc_set[line] = is_write
         self._fill_private(core, line, is_write, now)
         if self.prefetchers is not None:
             self._issue_prefetches(core, paddr, now)
-        latency = t.llc_hit + dram_result.latency
-        return HierarchyResult(latency, MemoryLevel.DRAM, dram=dram_result)
+        return HierarchyResult(
+            self.timing.llc_hit + dram_result.latency,
+            MemoryLevel.DRAM,
+            dram=dram_result,
+        )
 
     def _issue_prefetches(self, core: int, paddr: int, now: float) -> None:
         """Run the stride detector and fill predicted lines into L2/LLC.
@@ -191,24 +292,70 @@ class CacheHierarchy:
 
     # ------------------------------------------------------------------ fills
     def _fill_private(self, core: int, line: int, dirty: bool, now: float) -> None:
-        victim = self.l2[core].insert(line, dirty=False)
-        if victim is not None and victim.dirty:
-            self._spill_to_llc(victim.line_addr, now)
-        self._fill_l1(core, line, dirty, now)
+        """Fill a line into the private L2 then L1 after an outer-level hit.
 
-    def _fill_l1(self, core: int, line: int, dirty: bool, now: float) -> None:
-        victim = self.l1[core].insert(line, dirty=dirty)
-        if victim is not None and victim.dirty:
-            # Write the victim down; L2 absorbs it if present, else the LLC.
-            if not self.l2[core].mark_dirty(victim.line_addr):
-                self._spill_to_llc(victim.line_addr, now)
+        Both ``Cache.insert`` calls and the victim write-downs are inlined
+        with direct set-dict access (this runs once per access that left
+        the private caches); semantics match the method-based sequence
+        ``l2.insert(line, False)`` / spill / ``l1.insert(line, dirty)`` /
+        ``l2.mark_dirty`` or spill, exactly.
+        """
+        _, l2_sets, l1_sets = self._percore[core]
+        ib = self._l2_ib
+        l2_mask = self._l2_mask
+        l2_set = l2_sets[(line ^ (line >> ib) ^ (line >> (ib + ib))) & l2_mask]
+        present = l2_set.pop(line, _ABSENT)
+        if present is not _ABSENT:
+            l2_set[line] = present  # clean refill keeps the dirty bit
+        elif len(l2_set) >= self._l2_ways:
+            old = next(iter(l2_set))
+            old_dirty = l2_set.pop(old)
+            l2_set[line] = False
+            if old_dirty:
+                self._spill_to_llc(old, now)
+        else:
+            l2_set[line] = False
+        # _fill_l1(), inlined (L1 insert + dirty-victim write-down).
+        ib1 = self._l1_ib
+        l1_set = l1_sets[
+            (line ^ (line >> ib1) ^ (line >> (ib1 + ib1))) & self._l1_mask
+        ]
+        present = l1_set.pop(line, _ABSENT)
+        if present is not _ABSENT:
+            l1_set[line] = present or dirty
+        elif len(l1_set) >= self._l1_ways:
+            old = next(iter(l1_set))
+            old_dirty = l1_set.pop(old)
+            l1_set[line] = dirty
+            if old_dirty:
+                # L2 absorbs the victim if present, else the LLC.
+                down = l2_sets[
+                    (old ^ (old >> ib) ^ (old >> (ib + ib))) & l2_mask
+                ]
+                if old in down:
+                    down[old] = True
+                else:
+                    self._spill_to_llc(old, now)
+        else:
+            l1_set[line] = dirty
 
     def _spill_to_llc(self, line: int, now: float) -> None:
-        if self.llc.mark_dirty(line):
+        """Absorb a dirty private-cache victim into the LLC.
+
+        Equivalent to ``llc.mark_dirty(line) or llc.insert(line, True)``
+        with direct set-dict access: present lines just gain the dirty bit
+        (no LRU refresh — a write-down is not a use by the core), absent
+        lines are installed dirty, evicting the LRU entry if needed.
+        """
+        llc_set = self._llc_sets[line & self._llc_mask]
+        if line in llc_set:
+            llc_set[line] = True
             return
-        victim = self.llc.insert(line, dirty=True)
-        if victim is not None and victim.dirty:
-            self.dram.writeback(victim.line_addr << self._line_bits, now)
+        if len(llc_set) >= self._llc_ways:
+            old = next(iter(llc_set))
+            if llc_set.pop(old):
+                self.dram.writeback(old << self._line_bits, now)
+        llc_set[line] = True
 
     # ------------------------------------------------------------------ stats
     def level_stats(self) -> dict[str, CacheLevelStats]:

@@ -56,11 +56,14 @@ class ColoredTeam:
 
     @property
     def master(self) -> ThreadHandle:
+        """Thread 0 — the fork-join master that runs serial sections."""
         return self.handles[0]
 
     @property
     def nthreads(self) -> int:
+        """Team size (one pinned thread per handle)."""
         return len(self.handles)
 
     def tasks(self):
+        """The kernel ``TaskStruct`` behind each handle, in thread order."""
         return [h.task for h in self.handles]

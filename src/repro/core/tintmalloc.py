@@ -39,6 +39,7 @@ class ThreadHandle:
 
     @property
     def core(self) -> int:
+        """The core this thread is pinned to."""
         return self.task.core
 
     @property
@@ -81,9 +82,14 @@ class ThreadHandle:
 
     # ------------------------------------------------------------- heap
     def malloc(self, size: int, label: str = "", huge: bool = False) -> int:
+        """Allocate *size* bytes on the shared heap; returns the vaddr.
+
+        Pages fault in lazily under this thread's colors on first touch.
+        """
         return self.tm.heap.malloc(self.task, size, label=label, huge=huge)
 
     def free(self, va: int) -> None:
+        """Release a heap allocation previously returned by :meth:`malloc`."""
         self.tm.heap.free(self.task, va)
 
     def touch(self, vaddr: int) -> int:
@@ -141,8 +147,10 @@ class TintMalloc:
 
     @property
     def mapping(self):
+        """The machine's :class:`~repro.machine.address.AddressMapping`."""
         return self.kernel.mapping
 
     @property
     def topology(self):
+        """The machine's :class:`~repro.machine.topology.MachineTopology`."""
         return self.kernel.topology

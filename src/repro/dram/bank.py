@@ -26,9 +26,13 @@ class RowKind(enum.Enum):
     CONFLICT = "conflict"  # other row open: precharge + activate + access
 
 
-@dataclass
+@dataclass(slots=True)
 class Bank:
     """Mutable state of one DRAM bank.
+
+    A ``slots`` dataclass: one instance exists per bank color (128 on the
+    Opteron preset) and every LLC miss touches one, so attribute access
+    speed matters.
 
     Attributes:
         open_row: currently open row id, or None when precharged.
@@ -68,15 +72,25 @@ class Bank:
         The caller's critical-path completion time is ``start + service``.
         """
         start = max(now, self.busy_until)
-        kind = self.probe(row, start)
         t = self.timing
-        if kind is RowKind.HIT:
-            service = t.row_hit
-            self.hits += 1
-        elif kind is RowKind.MISS:
+        # probe(), manually inlined (hot path): refresh check + classify.
+        epoch = int(start // t.refresh_interval)
+        if epoch != self.refresh_epoch:
+            self.refresh_epoch = epoch
+            self.open_row = None
+            kind = RowKind.MISS
             service = t.row_miss
             self.misses += 1
+        elif self.open_row is None:
+            kind = RowKind.MISS
+            service = t.row_miss
+            self.misses += 1
+        elif self.open_row == row:
+            kind = RowKind.HIT
+            service = t.row_hit
+            self.hits += 1
         else:
+            kind = RowKind.CONFLICT
             service = t.row_conflict
             self.conflicts += 1
         occupancy = service + (t.write_recovery if is_write else 0.0)
@@ -92,13 +106,20 @@ class Bank:
         is how un-partitioned LLC evictions disturb other threads' banks.
         """
         start = max(now, self.busy_until)
-        kind = self.probe(row, start)
         t = self.timing
-        base = {
-            RowKind.HIT: t.row_hit,
-            RowKind.MISS: t.row_miss,
-            RowKind.CONFLICT: t.row_conflict,
-        }[kind]
+        # probe(), manually inlined (hot path for write-heavy workloads):
+        # the old dict-literal dispatch built a fresh dict per call.
+        epoch = int(start // t.refresh_interval)
+        if epoch != self.refresh_epoch:
+            self.refresh_epoch = epoch
+            self.open_row = None
+            base = t.row_miss
+        elif self.open_row is None:
+            base = t.row_miss
+        elif self.open_row == row:
+            base = t.row_hit
+        else:
+            base = t.row_conflict
         occupancy = (base + t.write_recovery) * t.writeback_occupancy_scale
         self.busy_until = start + occupancy
 

@@ -10,14 +10,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.dram.bank import Bank, RowKind
 from repro.dram.interconnect import Interconnect
 from repro.dram.timing import DEFAULT_TIMING, DramTiming
 from repro.machine.address import AddressMapping
 from repro.machine.topology import MachineTopology
-from repro.obs.observer import NULL_OBSERVER, NullObserver
+from repro.obs.observer import NULL_OBSERVER, BaseObserver
+
+#: RowKind members bound at module level (skips enum-class attribute
+#: lookups on the per-access stats update below).
+_HIT = RowKind.HIT
+_MISS = RowKind.MISS
+_CONFLICT = RowKind.CONFLICT
 
 
 class AccessResult:
@@ -52,9 +56,9 @@ class AccessResult:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class DramStats:
-    """Aggregate counters over one simulation run."""
+    """Aggregate counters over one simulation run (slots: updated per access)."""
 
     accesses: int = 0
     row_hits: int = 0
@@ -117,7 +121,7 @@ class DramSystem:
         mapping: AddressMapping,
         topology: MachineTopology,
         timing: DramTiming = DEFAULT_TIMING,
-        observer: NullObserver = NULL_OBSERVER,
+        observer: BaseObserver = NULL_OBSERVER,
     ) -> None:
         if mapping.num_nodes != topology.num_nodes:
             raise ValueError("mapping/topology node count mismatch")
@@ -132,16 +136,43 @@ class DramSystem:
         self._chan_busy = [0.0] * (mapping.num_nodes * mapping.num_channels)
         self.interconnect = Interconnect(topology, timing)
         self.stats = DramStats()
-        # Hot-path lookup tables.
-        self._frame_bank_color: np.ndarray
-        self._frame_bank_color, _ = mapping.frame_color_table()
+        # Hot-path decode memo: pfn -> (bank_color, node, channel index,
+        # Bank object), built lazily on top of the mapping's per-frame
+        # decode cache (:meth:`AddressMapping.frame_decode`).  Decoding
+        # happens once per *touched* frame, not once per access, and the
+        # memo survives :meth:`reset` because the mapping is immutable
+        # and the Bank objects are reused.
+        self._frame_route: dict[int, tuple[int, int, int, Bank]] = {}
         self._colors_per_node = mapping.bank_colors_per_node
         self._banks_per_channel = mapping.num_ranks * mapping.num_banks
         self._page_bits = mapping.page_bits
         self._row_shift = mapping.row_bits_start
+        # Timing scalars bound once (immutable), for the per-access path.
+        self._ctrl_service = timing.ctrl_service
+        self._ctrl_overhead = timing.ctrl_overhead
+        self._channel_service = timing.channel_service
+        self._refresh_interval = timing.refresh_interval
+        self._row_hit_ns = timing.row_hit
+        self._row_miss_ns = timing.row_miss
+        self._row_conflict_ns = timing.row_conflict
+        self._write_recovery = timing.write_recovery
+        self._wb_scale = timing.writeback_occupancy_scale
         self._register_counters(observer)
 
-    def _register_counters(self, obs: NullObserver) -> None:
+    def _route(self, pfn: int) -> tuple[int, int, int, Bank]:
+        """Memoized routing of a frame: (bank color, node, channel, bank)."""
+        decoded = self.mapping.frame_decode(pfn)
+        bank_color = decoded.bank_color
+        route = (
+            bank_color,
+            decoded.node,
+            bank_color // self._banks_per_channel,
+            self.banks[bank_color],
+        )
+        self._frame_route[pfn] = route
+        return route
+
+    def _register_counters(self, obs: BaseObserver) -> None:
         """Expose aggregate stats and controller occupancy as counters.
 
         Callbacks close over ``self`` (not ``self.stats``) so they keep
@@ -174,43 +205,113 @@ class DramSystem:
     def access(
         self, paddr: int, core: int, now: float, is_write: bool = False
     ) -> AccessResult:
-        """Serve an LLC-miss demand access and return its latency."""
-        bank_color = int(self._frame_bank_color[paddr >> self._page_bits])
-        node = bank_color // self._colors_per_node
+        """Serve an LLC-miss demand access and return its latency.
+
+        Args:
+            paddr: physical byte address of the missing line.
+            core: requesting core (selects the interconnect path).
+            now: request issue time in ns.
+            is_write: write requests add write-recovery bank occupancy.
+
+        Returns:
+            An :class:`AccessResult` with the critical-path latency (ns)
+            and the decoded route/row outcome.
+        """
+        route = self._frame_route.get(paddr >> self._page_bits)
+        if route is None:
+            route = self._route(paddr >> self._page_bits)
+        bank_color, node, chan, bank = route
         row = paddr >> self._row_shift
-        t = self.timing
+        interconnect = self.interconnect
 
         # Outbound interconnect (queues on the link for remote accesses).
-        arrival, hops = self.interconnect.traverse(core, node, now)
+        # Local accesses (0 hops) bypass the traverse/return calls — both
+        # are exact no-ops then (arrival = now, return latency = 0.0).
+        hops = interconnect._hops[core][node]
+        if hops:
+            arrival, hops = interconnect.traverse(core, node, now)
+        else:
+            arrival = now
 
-        # Controller front-end queue.
-        ctrl_start = max(arrival, self._ctrl_busy[node])
-        self._ctrl_busy[node] = ctrl_start + t.ctrl_service
-        after_ctrl = ctrl_start + t.ctrl_overhead
+        # Controller front-end queue.  (max(), written as conditionals
+        # throughout this method: same floats, no builtin call.)
+        ctrl_busy = self._ctrl_busy
+        busy = ctrl_busy[node]
+        ctrl_start = arrival if arrival > busy else busy
+        ctrl_busy[node] = ctrl_start + self._ctrl_service
+        after_ctrl = ctrl_start + self._ctrl_overhead
 
         # Channel data bus.
-        chan = bank_color // self._banks_per_channel
-        chan_start = max(after_ctrl, self._chan_busy[chan])
-        self._chan_busy[chan] = chan_start + t.channel_service
+        chan_busy = self._chan_busy
+        busy = chan_busy[chan]
+        chan_start = after_ctrl if after_ctrl > busy else busy
+        chan_busy[chan] = chan_start + self._channel_service
 
-        # Bank (row buffer).
-        bank = self.banks[bank_color]
-        bank_start, service, kind = bank.access(row, chan_start, is_write)
+        # Bank (row buffer): Bank.access(), manually inlined — queue
+        # behind the bank, lazy refresh check, then classify the row
+        # outcome (see repro.dram.bank for the readable version).
+        busy = bank.busy_until
+        bank_start = chan_start if chan_start > busy else busy
+        epoch = int(bank_start // self._refresh_interval)
+        if epoch != bank.refresh_epoch:
+            bank.refresh_epoch = epoch
+            kind = _MISS
+            service = self._row_miss_ns
+            bank.misses += 1
+        elif bank.open_row is None:
+            kind = _MISS
+            service = self._row_miss_ns
+            bank.misses += 1
+        elif bank.open_row == row:
+            kind = _HIT
+            service = self._row_hit_ns
+            bank.hits += 1
+        else:
+            kind = _CONFLICT
+            service = self._row_conflict_ns
+            bank.conflicts += 1
+        bank.open_row = row
+        bank.busy_until = bank_start + (
+            service + (self._write_recovery if is_write else 0.0)
+        )
 
-        done = bank_start + service + self.interconnect.return_latency(core, node)
+        if hops:
+            return_lat = interconnect._prop[core][node]
+            done = bank_start + service + return_lat
+            w_link = arrival - now - return_lat
+        else:
+            done = bank_start + service + 0.0
+            w_link = 0.0
         latency = done - now
-        w_link = arrival - now - (self.interconnect.return_latency(core, node))
+        if w_link < 0.0:
+            w_link = 0.0
         w_ctrl = ctrl_start - arrival
         w_chan = chan_start - after_ctrl
         w_bank = bank_start - chan_start
-        queue_wait = max(0.0, w_link) + w_ctrl + w_chan + w_bank
+        queue_wait = w_link + w_ctrl + w_chan + w_bank
+        # DramStats.record(), manually inlined (hot path): one fused
+        # counter update instead of a method call over the result object.
         stats = self.stats
-        stats.wait_link += max(0.0, w_link)
+        stats.wait_link += w_link
         stats.wait_ctrl += w_ctrl
         stats.wait_chan += w_chan
         stats.wait_bank += w_bank
+        stats.accesses += 1
+        stats.total_latency += latency
+        stats.total_queue_wait += queue_wait
+        if kind is _HIT:
+            stats.row_hits += 1
+        elif kind is _MISS:
+            stats.row_misses += 1
+        else:
+            stats.row_conflicts += 1
+        if hops:
+            stats.remote_accesses += 1
+        else:
+            stats.local_accesses += 1
+        per_node = stats.per_node_accesses
+        per_node[node] = per_node.get(node, 0) + 1
         result = AccessResult(latency, kind, node, bank_color, hops, queue_wait)
-        stats.record(result)
         if self._obs_enabled:
             self.obs.span(
                 "dram.access", now, done, track="dram", tid=node,
@@ -226,33 +327,58 @@ class DramSystem:
         """Serve a prefetch: full bank/channel/controller occupancy, but
         nothing waits on it (latency is off the critical path) and demand
         statistics are untouched."""
-        bank_color = int(self._frame_bank_color[paddr >> self._page_bits])
-        node = bank_color // self._colors_per_node
+        route = self._frame_route.get(paddr >> self._page_bits)
+        if route is None:
+            route = self._route(paddr >> self._page_bits)
+        _, node, chan, bank = route
         row = paddr >> self._row_shift
         t = self.timing
         arrival, _ = self.interconnect.traverse(core, node, now)
         ctrl_start = max(arrival, self._ctrl_busy[node])
         self._ctrl_busy[node] = ctrl_start + t.ctrl_service
-        chan = bank_color // self._banks_per_channel
         chan_start = max(ctrl_start + t.ctrl_overhead, self._chan_busy[chan])
         self._chan_busy[chan] = chan_start + t.channel_service
-        self.banks[bank_color].access(row, chan_start, is_write=False)
+        bank.access(row, chan_start, is_write=False)
         self.stats.prefetch_fills += 1
 
     def writeback(self, paddr: int, now: float) -> None:
         """Post an eviction write-back (bank/channel occupancy only)."""
-        bank_color = int(self._frame_bank_color[paddr >> self._page_bits])
-        chan = bank_color // self._banks_per_channel
-        row = paddr >> self._row_shift
-        self._chan_busy[chan] = (
-            max(now, self._chan_busy[chan]) + self.timing.channel_service
+        route = self._frame_route.get(paddr >> self._page_bits)
+        if route is None:
+            route = self._route(paddr >> self._page_bits)
+        chan = route[2]
+        chan_busy = self._chan_busy
+        busy = chan_busy[chan]
+        chan_busy[chan] = (
+            (now if now > busy else busy) + self._channel_service
         )
-        self.banks[bank_color].writeback(row, now)
+        # Bank.writeback(), manually inlined (probe + scaled occupancy).
+        bank = route[3]
+        busy = bank.busy_until
+        start = now if now > busy else busy
+        epoch = int(start // self._refresh_interval)
+        if epoch != bank.refresh_epoch:
+            bank.refresh_epoch = epoch
+            bank.open_row = None
+            base = self._row_miss_ns
+        elif bank.open_row is None:
+            base = self._row_miss_ns
+        elif bank.open_row == (paddr >> self._row_shift):
+            base = self._row_hit_ns
+        else:
+            base = self._row_conflict_ns
+        bank.busy_until = start + (
+            (base + self._write_recovery) * self._wb_scale
+        )
         self.stats.writebacks += 1
 
     # ------------------------------------------------------------------ misc
     def bank_of(self, paddr: int) -> Bank:
-        return self.banks[int(self._frame_bank_color[paddr >> self._page_bits])]
+        """The :class:`Bank` object a byte address routes to."""
+        route = self._frame_route.get(paddr >> self._page_bits)
+        if route is None:
+            route = self._route(paddr >> self._page_bits)
+        return route[3]
 
     def reset(self) -> None:
         """Clear all timing state and statistics (fresh run)."""

@@ -22,7 +22,7 @@ from repro.core.tintmalloc import TintMalloc
 from repro.experiments.configs import CONFIGS, ExperimentConfig
 from repro.kernel.kernel import Kernel
 from repro.machine.presets import MachineSpec, opteron_6128, opteron_6128_scaled
-from repro.obs import NULL_OBSERVER, NullObserver, Observer, export_run
+from repro.obs import NULL_OBSERVER, BaseObserver, Observer, export_run
 from repro.sim.engine import Engine, MemorySystem
 from repro.util.rng import RngStream
 from repro.util.units import GIB, MIB
@@ -95,7 +95,7 @@ def _fresh_environment(
     policy: Policy,
     machine: MachineSpec | None = None,
     age_seed: int = 0,
-    observer: NullObserver = NULL_OBSERVER,
+    observer: BaseObserver = NULL_OBSERVER,
 ) -> tuple[ColoredTeam, Engine]:
     machine = machine or opteron_6128(EXPERIMENT_MEMORY)
     kernel = Kernel(machine, age_seed=age_seed, observer=observer)
@@ -136,7 +136,7 @@ def run_benchmark(
     scale: float | None = None,
     machine: MachineSpec | None = None,
     profile: str = "full",
-    observer: NullObserver = NULL_OBSERVER,
+    observer: BaseObserver = NULL_OBSERVER,
 ) -> RunRecord:
     """Execute one benchmark run and summarise it.
 
@@ -169,7 +169,7 @@ def run_synthetic(
     spec: SyntheticSpec | None = None,
     machine: MachineSpec | None = None,
     profile: str = "full",
-    observer: NullObserver = NULL_OBSERVER,
+    observer: BaseObserver = NULL_OBSERVER,
 ) -> RunRecord:
     """Execute one synthetic-benchmark run (Fig. 10)."""
     config = CONFIGS[config_name]
@@ -205,7 +205,7 @@ class SweepJob:
 
 
 def _run_job(job: SweepJob) -> RunRecord:
-    observer: NullObserver = Observer() if job.trace_dir else NULL_OBSERVER
+    observer: BaseObserver = Observer() if job.trace_dir else NULL_OBSERVER
     record = run_benchmark(
         job.bench, job.policy, job.config, rep=job.rep, seed=job.seed,
         profile=job.profile, observer=observer,

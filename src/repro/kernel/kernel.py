@@ -17,7 +17,7 @@ from repro.kernel.task import TaskStruct
 from repro.kernel.vm import AddressSpace, Vma
 from repro.machine.pci import probe_address_mapping
 from repro.machine.presets import MachineSpec
-from repro.obs.observer import NULL_OBSERVER, NullObserver
+from repro.obs.observer import NULL_OBSERVER, BaseObserver
 
 
 class OutOfMemory(Exception):
@@ -73,7 +73,7 @@ class Kernel:
         refill_block_ns: float = 150.0,
         aged: bool = False,
         age_seed: int = 0,
-        observer: NullObserver = NULL_OBSERVER,
+        observer: BaseObserver = NULL_OBSERVER,
     ) -> None:
         self.machine = machine
         self.topology = machine.topology
@@ -98,7 +98,7 @@ class Kernel:
         #: cost of the most recent fault, read by the simulation engine.
         self.last_fault_charge: FaultCharge | None = None
 
-    def _register_counters(self, obs: NullObserver) -> None:
+    def _register_counters(self, obs: BaseObserver) -> None:
         """Free-frame gauges: buddy totals and per-node color-list fill."""
         if not obs.enabled:
             return

@@ -27,7 +27,7 @@ from repro.kernel.colorlist import ColorMatrix
 from repro.kernel.frame import FramePool, FrameState
 from repro.kernel.task import TaskStruct
 from repro.machine.topology import MachineTopology
-from repro.obs.observer import NULL_OBSERVER, NullObserver
+from repro.obs.observer import NULL_OBSERVER, BaseObserver
 
 
 @dataclass(frozen=True)
@@ -55,7 +55,7 @@ class PageAllocator:
         self,
         pool: FramePool,
         topology: MachineTopology,
-        observer: NullObserver = NULL_OBSERVER,
+        observer: BaseObserver = NULL_OBSERVER,
     ) -> None:
         self.pool = pool
         self.topology = topology

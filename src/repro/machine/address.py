@@ -44,7 +44,53 @@ class PhysicalLocation:
     row: int
 
     def as_tuple(self) -> tuple[int, int, int, int, int]:
+        """Return ``(node, channel, rank, bank, row)`` as a plain tuple."""
         return (self.node, self.channel, self.rank, self.bank, self.row)
+
+
+class DecodedAddress:
+    """Page-invariant decode of one physical frame (hot-path memo entry).
+
+    Every DRAM field bit and every LLC color bit of the coloring presets
+    lies at or above the page offset (:meth:`AddressMapping.
+    frame_colors_invariant`), so *node, channel, rank, bank, bank color,
+    LLC color* are properties of the frame, not of the byte address.
+    :meth:`AddressMapping.frame_decode` computes this object once per
+    frame and memoizes it; the cache hierarchy and DRAM system then pay a
+    single dict lookup per access instead of re-gathering scattered bits.
+
+    Attributes:
+        pfn: page frame number this decode belongs to.
+        node: memory controller (0 .. num_nodes-1).
+        channel: channel within the controller.
+        rank: rank within the channel.
+        bank: bank within the rank.
+        bank_color: Eq. (1) mixed-radix color over (node, channel, rank,
+            bank); globally unique bank identifier.
+        llc_color: LLC page color (the paper's 32-color set-index slice).
+    """
+
+    __slots__ = ("pfn", "node", "channel", "rank", "bank", "bank_color",
+                 "llc_color")
+
+    def __init__(
+        self, pfn: int, node: int, channel: int, rank: int, bank: int,
+        bank_color: int, llc_color: int,
+    ) -> None:
+        self.pfn = pfn
+        self.node = node
+        self.channel = channel
+        self.rank = rank
+        self.bank = bank
+        self.bank_color = bank_color
+        self.llc_color = llc_color
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DecodedAddress(pfn={self.pfn:#x}, node={self.node}, "
+            f"channel={self.channel}, rank={self.rank}, bank={self.bank}, "
+            f"bank_color={self.bank_color}, llc_color={self.llc_color})"
+        )
 
 
 def _field_extractor(positions: tuple[int, ...]):
@@ -95,25 +141,35 @@ class AddressMapping:
         # Row: bits above the highest field bit, by default.
         start = self.row_bits_start or (max(seen) + 1 if seen else self.page_bits)
         object.__setattr__(self, "row_bits_start", start)
+        # Per-instance frame-decode memo (pfn -> DecodedAddress).  The
+        # mapping itself is immutable, so entries never go stale for this
+        # instance; a *different* mapping is a different object with its
+        # own, initially empty cache.
+        object.__setattr__(self, "_frame_decode_cache", {})
 
     # --- widths / counts ------------------------------------------------------
     def field_width(self, name: str) -> int:
+        """Number of address bits backing *name* ("node", "channel", ...)."""
         return len(self.fields[name])
 
     @property
     def num_nodes(self) -> int:
+        """Memory nodes (NUMA domains) addressable by the node bits."""
         return 1 << self.field_width("node")
 
     @property
     def num_channels(self) -> int:
+        """Memory channels per node."""
         return 1 << self.field_width("channel")
 
     @property
     def num_ranks(self) -> int:
+        """Ranks per channel."""
         return 1 << self.field_width("rank")
 
     @property
     def num_banks(self) -> int:
+        """Banks per rank (each with one open-row buffer)."""
         return 1 << self.field_width("bank")
 
     @property
@@ -125,26 +181,32 @@ class AddressMapping:
 
     @property
     def num_llc_colors(self) -> int:
+        """Distinct LLC colors (one per combination of set-index page bits)."""
         return 1 << len(self.llc_color_positions)
 
     @property
     def bank_colors_per_node(self) -> int:
+        """Bank colors owned by one node (channels * ranks * banks)."""
         return self.num_channels * self.num_ranks * self.num_banks
 
     @property
     def page_bytes(self) -> int:
+        """Page size in bytes."""
         return 1 << self.page_bits
 
     @property
     def line_bytes(self) -> int:
+        """Cache-line size in bytes."""
         return 1 << self.line_bits
 
     @property
     def memory_bytes(self) -> int:
+        """Total physical memory covered by the address map."""
         return 1 << self.total_bits
 
     @property
     def num_frames(self) -> int:
+        """Total order-0 page frames in physical memory."""
         return 1 << (self.total_bits - self.page_bits)
 
     # --- scalar decode ---------------------------------------------------------
@@ -172,6 +234,11 @@ class AddressMapping:
         return row
 
     def decode(self, paddr: int) -> PhysicalLocation:
+        """Full field extraction -> (node, channel, rank, bank, row).
+
+        Per-call scalar decode; steady-state code should use
+        :meth:`frame_decode`, which memoizes per frame.
+        """
         self._check_paddr(paddr)
         return PhysicalLocation(
             node=self.extract(paddr, "node"),
@@ -190,6 +257,7 @@ class AddressMapping:
         return self.compose_bank_color(loc_node, loc_ch, loc_rk, loc_bk)
 
     def compose_bank_color(self, node: int, channel: int, rank: int, bank: int) -> int:
+        """Mixed-radix bank color of an explicit (node, channel, rank, bank)."""
         return (
             (node * self.num_channels + channel) * self.num_ranks + rank
         ) * self.num_banks + bank
@@ -207,6 +275,7 @@ class AddressMapping:
         return node, channel, rank, bank
 
     def node_of_bank_color(self, color: int) -> int:
+        """The node whose controller owns frames of this bank color."""
         return self.split_bank_color(color)[0]
 
     def bank_colors_of_node(self, node: int) -> range:
@@ -215,6 +284,7 @@ class AddressMapping:
         return range(node * per, (node + 1) * per)
 
     def llc_color(self, paddr: int) -> int:
+        """LLC color: the page-frame bits that pick the LLC set group."""
         value = 0
         for i, p in enumerate(self.llc_color_positions):
             value |= ((paddr >> p) & 1) << i
@@ -291,10 +361,61 @@ class AddressMapping:
         return all(p >= self.page_bits for p in positions)
 
     def frame_bank_color(self, pfn: int) -> int:
+        """Bank color (Eq. 1) of frame ``pfn``."""
         return self.bank_color(pfn << self.page_bits)
 
     def frame_llc_color(self, pfn: int) -> int:
+        """LLC color of frame ``pfn``."""
         return self.llc_color(pfn << self.page_bits)
+
+    # --- memoized per-frame decode ----------------------------------------------
+    def frame_decode(self, pfn: int) -> DecodedAddress:
+        """Decode frame ``pfn`` once; later calls return the memo entry.
+
+        All DRAM field bits and LLC color bits of the coloring presets are
+        page-invariant, so the result is exact for every byte address
+        inside the frame.  Row numbers are *not* included — with
+        ``row_bits_start`` below ``page_bits`` they could vary within a
+        frame, and the row is a single shift for the caller anyway.
+
+        Entries are cached per :class:`AddressMapping` instance in a plain
+        dict (only frames actually touched are decoded).  The cache needs
+        no time-based invalidation because the mapping is frozen; swapping
+        in a different mapping (a re-probed machine) swaps in a fresh,
+        empty cache with it.
+
+        Args:
+            pfn: page frame number (``paddr >> page_bits``).
+
+        Returns:
+            The memoized :class:`DecodedAddress` for the frame.
+        """
+        cached = self._frame_decode_cache.get(pfn)
+        if cached is not None:
+            return cached
+        paddr = pfn << self.page_bits
+        self._check_paddr(paddr)
+        node = self.extract(paddr, "node")
+        channel = self.extract(paddr, "channel")
+        rank = self.extract(paddr, "rank")
+        bank = self.extract(paddr, "bank")
+        decoded = DecodedAddress(
+            pfn=pfn, node=node, channel=channel, rank=rank, bank=bank,
+            bank_color=self.compose_bank_color(node, channel, rank, bank),
+            llc_color=self.llc_color(paddr),
+        )
+        self._frame_decode_cache[pfn] = decoded
+        return decoded
+
+    @property
+    def frame_decode_cache_size(self) -> int:
+        """Number of frames currently memoized by :meth:`frame_decode`."""
+        return len(self._frame_decode_cache)
+
+    def clear_frame_decode_cache(self) -> None:
+        """Drop all memoized frame decodes (frees memory; never required
+        for correctness, since the mapping is immutable)."""
+        self._frame_decode_cache.clear()
 
     # --- vectorised decode -------------------------------------------------------
     def _gather_vec(self, paddrs: np.ndarray, positions: Iterable[int]) -> np.ndarray:
@@ -314,6 +435,7 @@ class AddressMapping:
         ) * self.num_banks + bk
 
     def llc_color_vec(self, paddrs: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`llc_color` over an int64 address array."""
         return self._gather_vec(paddrs, self.llc_color_positions)
 
     def frame_color_table(self) -> tuple[np.ndarray, np.ndarray]:

@@ -65,11 +65,13 @@ class PciConfigSpace:
     registers: dict[int, int] = field(default_factory=dict)
 
     def read32(self, offset: int) -> int:
+        """Read the aligned 32-bit register at *offset* (0 if unwritten)."""
         if offset % 4 != 0:
             raise ValueError(f"unaligned PCI read at {offset:#x}")
         return self.registers.get(offset, 0)
 
     def write32(self, offset: int, value: int) -> None:
+        """Store a 32-bit value at the aligned register *offset*."""
         if offset % 4 != 0:
             raise ValueError(f"unaligned PCI write at {offset:#x}")
         if not 0 <= value < 2**32:

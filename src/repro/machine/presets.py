@@ -72,6 +72,7 @@ class MachineSpec:
 
     @property
     def name(self) -> str:
+        """The preset's display name (e.g. "opteron-6128")."""
         return self.topology.name
 
 

@@ -43,18 +43,22 @@ class CacheGeometry:
 
     @property
     def num_lines(self) -> int:
+        """Capacity in cache lines."""
         return self.size_bytes // self.line_bytes
 
     @property
     def num_sets(self) -> int:
+        """Number of sets (lines / associativity)."""
         return self.num_lines // self.ways
 
     @property
     def offset_bits(self) -> int:
+        """Address bits below the line number (log2 of line size)."""
         return log2_exact(self.line_bytes)
 
     @property
     def index_bits(self) -> int:
+        """Address bits selecting the set (log2 of num_sets)."""
         return log2_exact(self.num_sets)
 
 
@@ -100,10 +104,12 @@ class MachineTopology:
 
     @property
     def num_cores(self) -> int:
+        """Total cores across all nodes."""
         return self.num_nodes * self.cores_per_node
 
     @property
     def line_bytes(self) -> int:
+        """Cache-line size, uniform across L1/L2/LLC."""
         return self.llc.line_bytes
 
     # Mapping ------------------------------------------------------------------
@@ -113,10 +119,12 @@ class MachineTopology:
         return core // self.cores_per_node
 
     def socket_of_node(self, node: int) -> int:
+        """The physical socket hosting memory ``node``."""
         self._check_node(node)
         return node // self.nodes_per_socket
 
     def socket_of_core(self, core: int) -> int:
+        """The physical socket hosting ``core``."""
         return self.socket_of_node(self.node_of_core(core))
 
     def cores_of_node(self, node: int) -> tuple[int, ...]:
@@ -126,6 +134,7 @@ class MachineTopology:
         return tuple(range(base, base + self.cores_per_node))
 
     def nodes_of_socket(self, socket: int) -> tuple[int, ...]:
+        """All memory nodes on ``socket``, in ascending order."""
         if not 0 <= socket < self.num_sockets:
             raise ValueError(f"socket {socket} out of range")
         base = socket * self.nodes_per_socket
@@ -149,6 +158,7 @@ class MachineTopology:
         return 2
 
     def is_local(self, core: int, node: int) -> bool:
+        """True when ``node``'s controller is on ``core``'s die (0 hops)."""
         return self.hops(core, node) == 0
 
     # Validation ---------------------------------------------------------------

@@ -28,12 +28,13 @@ from repro.obs.exporters import (
     write_jsonl,
     write_perfetto,
 )
-from repro.obs.observer import NULL_OBSERVER, NullObserver, Observer
+from repro.obs.observer import NULL_OBSERVER, BaseObserver, NullObserver, Observer
 
 __all__ = [
     "InstantEvent",
     "RingBuffer",
     "SpanEvent",
+    "BaseObserver",
     "NullObserver",
     "Observer",
     "NULL_OBSERVER",

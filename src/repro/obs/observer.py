@@ -1,6 +1,7 @@
 """The observer: structured spans, counters, and sim-time sampling.
 
-Two implementations share one interface:
+:class:`BaseObserver` defines the interface (with no-op default bodies)
+that every instrumentation point is annotated with.  Two implementations:
 
 * :class:`NullObserver` — the default everywhere.  Every method is a
   no-op and ``enabled`` is False, which lets instrumented components skip
@@ -29,19 +30,24 @@ from repro.obs.events import InstantEvent, RingBuffer, SpanEvent
 CounterFn = Callable[[float], float]
 
 
-class NullObserver:
-    """Do-nothing observer; safe to call from any layer.
+class BaseObserver:
+    """The observer interface every instrumented layer is typed against.
 
-    All instrumentation points accept an observer and default to the
-    shared :data:`NULL_OBSERVER` singleton, so observability is strictly
-    opt-in and explicitly injected.
+    Instrumentation points accept ``observer: BaseObserver`` so that both
+    the zero-overhead :class:`NullObserver` default and the recording
+    :class:`Observer` type-check at every call site.  The default method
+    bodies are no-ops; :class:`Observer` overrides the ones that record.
+
+    Attributes:
+        enabled: when False, hot loops skip their tracing branches (and
+            the engine dispatches to its uninstrumented fast path).
+        now: current sim time in ns, maintained by the engine while
+            tracing; lets layers without a clock of their own (the
+            kernel) stamp events.
     """
 
     enabled: bool = False
-    #: current sim time, maintained by the engine while tracing; lets
-    #: layers without a clock of their own (the kernel) stamp events.
     now: float = 0.0
-
     # ------------------------------------------------------------ registration
     def register_counter(self, name: str, fn: CounterFn) -> None:
         pass
@@ -98,11 +104,20 @@ class NullObserver:
         pass
 
 
+class NullObserver(BaseObserver):
+    """Do-nothing observer; safe to call from any layer.
+
+    All instrumentation points accept an observer and default to the
+    shared :data:`NULL_OBSERVER` singleton, so observability is strictly
+    opt-in and explicitly injected.
+    """
+
+
 #: Shared default instance — the zero-overhead path.
 NULL_OBSERVER = NullObserver()
 
 
-class Observer(NullObserver):
+class Observer(BaseObserver):
     """Recording observer.
 
     Args:

@@ -44,6 +44,7 @@ class Section:
 
     @property
     def accesses(self) -> int:
+        """Total memory accesses across this section's traces."""
         return sum(len(t) for t in self.traces.values())
 
 
@@ -67,8 +68,10 @@ class Program:
 
     @property
     def total_accesses(self) -> int:
+        """Memory accesses summed over every section."""
         return sum(s.accesses for s in self.sections)
 
     @property
     def parallel_sections(self) -> list[Section]:
+        """The sections replayed by the whole team, in program order."""
         return [s for s in self.sections if s.kind == "parallel"]

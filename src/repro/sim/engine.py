@@ -13,13 +13,14 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass
 
+from repro.cache.cache import _ABSENT
 from repro.cache.hierarchy import CacheHierarchy, CacheTiming, MemoryLevel
 from repro.core.session import ColoredTeam
 from repro.dram.bank import RowKind
 from repro.dram.system import DramSystem
 from repro.dram.timing import DEFAULT_TIMING, DramTiming
 from repro.machine.presets import MachineSpec
-from repro.obs.observer import NULL_OBSERVER, NullObserver
+from repro.obs.observer import NULL_OBSERVER, BaseObserver
 from repro.sim.barrier import Program, Section
 from repro.sim.metrics import RunMetrics, SectionMetrics, ThreadMetrics
 
@@ -38,8 +39,9 @@ class MemorySystem:
         dram_timing: DramTiming = DEFAULT_TIMING,
         cache_timing: CacheTiming = CacheTiming(),
         prefetch: bool = False,
-        observer: NullObserver = NULL_OBSERVER,
+        observer: BaseObserver = NULL_OBSERVER,
     ) -> "MemorySystem":
+        """Build the cache hierarchy + DRAM system for *machine*."""
         dram = DramSystem(
             machine.mapping, machine.topology, dram_timing, observer=observer
         )
@@ -50,6 +52,7 @@ class MemorySystem:
         return cls(dram=dram, hierarchy=hierarchy)
 
     def reset(self) -> None:
+        """Empty all caches and restore every bank/occupancy to idle."""
         self.dram.reset()
         self.hierarchy.reset()
 
@@ -60,19 +63,30 @@ class Engine:
     Args:
         team: pinned, colored thread team (allocation policy already set).
         memory: the machine's cache/DRAM state.
+        observer: tracing sink; the default NullObserver selects the
+            uninstrumented replay loops.
+        fast_path: when True (default) and the observer is disabled,
+            sections replay through :meth:`_run_section_fast` — the
+            batched loop with the inlined L1-hit short-circuit.  Set
+            False to force :meth:`_run_section_reference`, the
+            straightforward loop kept for equivalence testing and as the
+            perf baseline (``benchmarks/perf_baseline.py``).  Both paths
+            produce bit-identical :class:`~repro.sim.metrics.RunMetrics`.
     """
 
     def __init__(
         self,
         team: ColoredTeam,
         memory: MemorySystem,
-        observer: NullObserver = NULL_OBSERVER,
+        observer: BaseObserver = NULL_OBSERVER,
+        fast_path: bool = True,
     ) -> None:
         self.team = team
         self.memory = memory
         self.kernel = team.tm.kernel
         self.space = team.tm.process.address_space
         self.observer = observer
+        self.fast_path = fast_path
 
     # ------------------------------------------------------------------ run
     def run(self, program: Program) -> RunMetrics:
@@ -161,21 +175,204 @@ class Engine:
         """Run one section; returns per-thread end times (Algorithm 3's
         ``end[tid]``).
 
-        Dispatches to the uninstrumented hot loop unless tracing is on —
-        the disabled-observer path must cost nothing per access
-        (guarded by ``benchmarks/test_obs_overhead.py``).
+        Dispatches to the uninstrumented hot loops unless tracing is on —
+        the disabled-observer path must cost nothing per access (guarded
+        by ``benchmarks/test_obs_overhead.py``).  With tracing off, the
+        default is the batched fast path; ``fast_path=False`` selects the
+        reference loop (same results, no short-circuits), which exists so
+        the equivalence test and the perf baseline always have the
+        original engine to compare against.
         """
         if self.observer.enabled:
             return self._run_section_traced(section, start, metrics)
-        return self._run_section_fast(section, start, metrics)
+        if self.fast_path:
+            return self._run_section_fast(section, start, metrics)
+        return self._run_section_reference(section, start, metrics)
 
     def _run_section_fast(
         self, section: Section, start: float, metrics: RunMetrics
     ) -> dict[int, float]:
-        """The zero-observability hot loop.
+        """The zero-observability hot loop (the *fast path*).
 
-        NOTE: `_run_section_traced` mirrors this loop with tracing hooks;
-        behavioural changes must be applied to both.
+        Same replay semantics as :meth:`_run_section_reference` — and
+        bit-identical metrics, enforced by
+        ``tests/test_sim_engine_equivalence.py`` — with three
+        engine-level optimisations on top of the shared batching window:
+
+        * **L1-hit short-circuit**: the issuing core's L1 is probed
+          inline (``Cache.lookup`` semantics on the set dicts directly);
+          a hit charges the constant L1 latency without entering
+          :class:`CacheHierarchy` at all.  Misses continue through
+          :meth:`~repro.cache.hierarchy.CacheHierarchy.access_after_l1`
+          (never re-probing the L1).  L1 hit/miss counters batch in
+          locals and flush with the other per-batch counters.
+        * **Batched counter flushes**: integer per-thread counters
+          (accesses, DRAM/remote/row-conflict counts) accumulate in
+          locals and flush to :class:`ThreadMetrics` when the thread
+          leaves its batch — int adds are associative, so totals are
+          exact.  Fault costs stay per-event (floats).
+        * **Local bindings** of every attribute the loop touches, and
+          page/line address components pre-split per trace with numpy
+          (``vpn`` and in-page line offset), so the resident-page path
+          does two int ops per access instead of four.
+
+        NOTE: `_run_section_traced` mirrors the reference loop with
+        tracing hooks; behavioural changes must be applied to all three.
+        """
+        # Local bindings for the hot loop.
+        page_bits = self.kernel.mapping.page_bits
+        page_mask = (1 << page_bits) - 1
+        hierarchy = self.memory.hierarchy
+        line_bits = hierarchy.topology.llc.offset_bits
+        page_line_shift = page_bits - line_bits
+        l1_hit = hierarchy.timing.l1_hit
+        miss_access = hierarchy.access_after_l1
+        page_table = self.space.page_table
+        page_table_get = page_table.get
+        translate = self.space.translate
+        kernel = self.kernel
+        threads = metrics.threads
+        DRAM = MemoryLevel.DRAM
+        CONFLICT = RowKind.CONFLICT
+        push, pop = heapq.heappush, heapq.heappop
+        slack = self.BATCH_SLACK_NS
+        inf = float("inf")
+
+        # L1 probe parameters (one geometry for every core's L1); the
+        # probe itself is Cache.lookup inlined on the set dicts.
+        l1_ib = hierarchy.topology.l1.index_bits
+        l1_ib2 = l1_ib + l1_ib
+        l1_mask = hierarchy.topology.l1.num_sets - 1
+        ABSENT = _ABSENT
+
+        # Per-thread replay state.  vpn/off_line are vectorised off the
+        # trace once (small ints, unlike the boxed 48-bit vaddrs); the
+        # replayed physical line address is then
+        # ``(pfn << page_line_shift) | off_line`` — identical bits to the
+        # reference loop's paddr construction + shift.
+        states: dict[int, list] = {}
+        heap: list[tuple[float, int]] = []
+        l1 = hierarchy.l1
+        for tidx, trace in section.traces.items():
+            if len(trace) == 0:
+                continue
+            vaddrs, writes, thinks = trace.as_lists()
+            va = trace.vaddrs
+            vpns = (va >> page_bits).tolist()
+            off_lines = ((va & page_mask) >> line_bits).tolist()
+            handle = self.team.handles[tidx]
+            l1_cache = l1[handle.core]
+            states[tidx] = [0, vaddrs, vpns, off_lines, writes, thinks,
+                            handle.task, handle.core, l1_cache,
+                            l1_cache._sets]
+            heapq.heappush(heap, (start, tidx))
+        ends: dict[int, float] = {tidx: start for tidx in section.traces}
+        if not heap:
+            return ends
+
+        while heap:
+            clock, tidx = pop(heap)
+            state = states[tidx]
+            (i, vaddrs, vpns, off_lines, writes, thinks, task, core,
+             l1_cache, l1_sets) = state
+            tm = threads[tidx]
+            n = len(vaddrs)
+            # Run this thread until it overtakes the next-soonest thread
+            # (plus slack) or finishes its trace; counters batch in
+            # locals for the whole run.
+            horizon = (heap[0][0] + slack) if heap else inf
+            i0 = i
+            dram_n = 0
+            remote_n = 0
+            conflict_n = 0
+            l1_misses = 0
+
+            while True:
+                pfn = page_table_get(vpns[i])
+                if pfn is None:
+                    # Demand fault under the faulting task's policy.
+                    paddr, _ = translate(vaddrs[i], task)
+                    fault_ns = kernel.last_fault_charge.total_ns
+                    tm.faults += 1
+                    tm.fault_ns += fault_ns
+                    line = paddr >> line_bits
+                    entries = l1_sets[
+                        (line ^ (line >> l1_ib) ^ (line >> l1_ib2)) & l1_mask
+                    ]
+                    d = entries.pop(line, ABSENT)
+                    if d is not ABSENT:
+                        entries[line] = d or writes[i]
+                        clock += thinks[i] + l1_hit + fault_ns
+                    else:
+                        l1_misses += 1
+                        result = miss_access(
+                            line, paddr, core, clock, writes[i]
+                        )
+                        if result.level is DRAM:
+                            dram = result.dram
+                            dram_n += 1
+                            if dram.hops:
+                                remote_n += 1
+                            if dram.row_kind is CONFLICT:
+                                conflict_n += 1
+                        clock += thinks[i] + result.latency + fault_ns
+                else:
+                    line = (pfn << page_line_shift) | off_lines[i]
+                    entries = l1_sets[
+                        (line ^ (line >> l1_ib) ^ (line >> l1_ib2)) & l1_mask
+                    ]
+                    d = entries.pop(line, ABSENT)
+                    if d is not ABSENT:
+                        entries[line] = d or writes[i]
+                        clock += thinks[i] + l1_hit
+                    else:
+                        l1_misses += 1
+                        # Byte offsets below the line never matter past
+                        # L1, so line << line_bits is the paddr the
+                        # hierarchy needs (page, row, bank all agree).
+                        result = miss_access(
+                            line, line << line_bits, core, clock, writes[i]
+                        )
+                        if result.level is DRAM:
+                            dram = result.dram
+                            dram_n += 1
+                            if dram.hops:
+                                remote_n += 1
+                            if dram.row_kind is CONFLICT:
+                                conflict_n += 1
+                        clock += thinks[i] + result.latency
+
+                i += 1
+                if i >= n:
+                    ends[tidx] = clock
+                    break
+                if clock > horizon:
+                    state[0] = i
+                    push(heap, (clock, tidx))
+                    break
+            # Batch counter flush; the access count is the index delta,
+            # and every non-hit probe was counted in l1_misses.
+            accesses = i - i0
+            tm.accesses += accesses
+            tm.dram_accesses += dram_n
+            tm.remote_accesses += remote_n
+            tm.row_conflicts += conflict_n
+            l1_cache.hits += accesses - l1_misses
+            l1_cache.misses += l1_misses
+        return ends
+
+    def _run_section_reference(
+        self, section: Section, start: float, metrics: RunMetrics
+    ) -> dict[int, float]:
+        """The straightforward replay loop (the *slow path*).
+
+        This is the engine as it existed before the fast path: every
+        access enters :meth:`CacheHierarchy.access`, and per-thread
+        counters update one access at a time.  It is kept (verbatim) as
+        the behavioural reference: ``tests/test_sim_engine_equivalence.py``
+        asserts the fast path reproduces its :class:`RunMetrics`
+        bit-for-bit, and ``benchmarks/perf_baseline.py`` measures the
+        fast path's speedup against it.
         """
         # Per-thread replay state.
         states: dict[int, list] = {}

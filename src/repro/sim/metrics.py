@@ -16,9 +16,10 @@ from repro.cache.stats import CacheLevelStats
 from repro.dram.system import DramStats
 
 
-@dataclass
+@dataclass(slots=True)
 class ThreadMetrics:
-    """Per-thread accounting across all parallel sections."""
+    """Per-thread accounting across all parallel sections (slots class:
+    the replay loops increment these counters per batch)."""
 
     thread: int
     core: int
@@ -35,10 +36,11 @@ class ThreadMetrics:
 
     @property
     def remote_fraction(self) -> float:
+        """Share of this thread's DRAM accesses served by a remote node."""
         return self.remote_accesses / self.dram_accesses if self.dram_accesses else 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class SectionMetrics:
     """Wall-clock accounting of one fork-join section."""
 
@@ -54,10 +56,12 @@ class SectionMetrics:
 
     @property
     def duration(self) -> float:
+        """Section wall-clock, ns (end - start)."""
         return self.end - self.start
 
     @property
     def ns_per_access(self) -> float:
+        """Mean cost of one access in this section, ns (0 if empty)."""
         return self.duration / self.accesses if self.accesses else 0.0
 
 
@@ -87,10 +91,12 @@ class RunMetrics:
 
     @property
     def max_thread_runtime(self) -> float:
+        """Slowest thread's parallel runtime (Fig. 13's upper series)."""
         return max((t.parallel_runtime for t in self.threads), default=0.0)
 
     @property
     def min_thread_runtime(self) -> float:
+        """Fastest thread's parallel runtime (Fig. 13's lower series)."""
         return min((t.parallel_runtime for t in self.threads), default=0.0)
 
     @property
@@ -102,10 +108,12 @@ class RunMetrics:
 
     @property
     def max_thread_idle(self) -> float:
+        """Largest per-thread barrier-wait total (Fig. 14's metric)."""
         return max((t.idle_time for t in self.threads), default=0.0)
 
     @property
     def remote_fraction(self) -> float:
+        """Share of all DRAM accesses served by a remote node."""
         total = sum(t.dram_accesses for t in self.threads)
         remote = sum(t.remote_accesses for t in self.threads)
         return remote / total if total else 0.0
@@ -128,9 +136,11 @@ class RunMetrics:
         raise KeyError(f"no section labelled {label!r}")
 
     def thread_runtimes(self) -> list[float]:
+        """Per-thread parallel runtime, in thread order."""
         return [t.parallel_runtime for t in self.threads]
 
     def thread_idles(self) -> list[float]:
+        """Per-thread barrier-wait total, in thread order."""
         return [t.idle_time for t in self.threads]
 
     def summary(self) -> dict[str, float]:

@@ -45,6 +45,7 @@ class Trace:
 
     @property
     def total_think_ns(self) -> float:
+        """Compute (non-memory) time summed over the whole trace, ns."""
         if isinstance(self.think_ns, np.ndarray):
             return float(self.think_ns.sum())
         return float(self.think_ns) * len(self)
@@ -84,4 +85,5 @@ class Trace:
 
 
 def empty_trace(label: str = "") -> Trace:
+    """A zero-access trace (placeholder for threads idle in a section)."""
     return Trace(np.empty(0, np.int64), np.empty(0, bool), 0.0, label)

@@ -1,0 +1,22 @@
+"""Docstring coverage on the public API, enforced in tier 1.
+
+``tools/check_docstrings.py`` is also the gate in front of the CI docs
+job (pdoc renders whatever docstrings exist, so an empty page would
+otherwise pass silently); running it here means a missing docstring
+fails fast, locally, without pdoc installed.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_public_api_is_documented():
+    proc = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "tools" / "check_docstrings.py")],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, f"undocumented public API:\n{proc.stdout}"

@@ -1,0 +1,115 @@
+"""Fast path == reference path, bit for bit.
+
+The engine's batched fast path (`Engine._run_section_fast`) must produce
+*bit-identical* results to the straightforward reference loop
+(`Engine._run_section_reference`) — not approximately equal: the same
+floats in every latency sum, the same integers in every counter.  These
+tests run real fig. 10/fig. 11 workloads through both paths (and through
+the traced path with a recording observer) and compare complete metric
+snapshots with exact equality.
+
+If one of these tests fails after an engine/hierarchy/DRAM change, the
+fast path has drifted from the model's semantics; fix the drift, never
+loosen the comparison.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.alloc.policies import Policy
+from repro.experiments.configs import CONFIGS
+from repro.experiments.runner import (
+    _fresh_environment,
+    profile_machine,
+    profile_scale,
+)
+from repro.obs import Observer
+from repro.sim.metrics import RunMetrics
+from repro.util.rng import RngStream
+from repro.workloads.base import build_spmd_program
+from repro.workloads.registry import get_workload
+from repro.workloads.synthetic import SyntheticSpec, build_synthetic_program
+
+CONFIG = "16_threads_4_nodes"
+PROFILE = "mini"
+
+
+def snapshot(metrics: RunMetrics) -> dict:
+    """Everything a run produced, as plain comparable values."""
+    return {
+        "summary": metrics.summary(),
+        "runtime": metrics.runtime,
+        "threads": [dataclasses.asdict(t) for t in metrics.threads],
+        "sections": [dataclasses.asdict(s) for s in metrics.sections],
+        "dram": dataclasses.asdict(metrics.dram),
+        "cache": {
+            name: (lvl.hits, lvl.misses) for name, lvl in metrics.cache.items()
+        },
+    }
+
+
+def run_fig11(bench: str, policy: Policy, *, fast: bool, traced: bool = False):
+    observer = Observer() if traced else None
+    kwargs = {"observer": observer} if observer is not None else {}
+    team, engine = _fresh_environment(
+        CONFIGS[CONFIG], policy, profile_machine(PROFILE), age_seed=0, **kwargs
+    )
+    engine.fast_path = fast
+    spec = get_workload(bench).scaled(profile_scale(PROFILE))
+    program = build_spmd_program(spec, team, RngStream(0, bench, CONFIG))
+    return snapshot(engine.run(program))
+
+
+def run_fig10(policy: Policy, *, fast: bool):
+    team, engine = _fresh_environment(
+        CONFIGS[CONFIG], policy, profile_machine(PROFILE), age_seed=0
+    )
+    engine.fast_path = fast
+    spec = SyntheticSpec(per_thread_bytes=64 * 1024)
+    program = build_synthetic_program(spec, team)
+    return snapshot(engine.run(program))
+
+
+@pytest.mark.parametrize("bench", ["lbm", "blackscholes"])
+@pytest.mark.parametrize("policy", [Policy.BUDDY, Policy.MEM_LLC])
+def test_fig11_fast_equals_reference(bench, policy):
+    fast = run_fig11(bench, policy, fast=True)
+    ref = run_fig11(bench, policy, fast=False)
+    assert fast == ref
+
+
+@pytest.mark.parametrize("policy", [Policy.BUDDY, Policy.MEM_LLC])
+def test_fig10_synthetic_fast_equals_reference(policy):
+    fast = run_fig10(policy, fast=True)
+    ref = run_fig10(policy, fast=False)
+    assert fast == ref
+
+
+def test_traced_path_matches_reference():
+    """A recording observer must not perturb the simulation itself."""
+    ref = run_fig11("lbm", Policy.MEM_LLC, fast=False)
+    traced = run_fig11("lbm", Policy.MEM_LLC, fast=True, traced=True)
+    assert traced == ref
+
+
+def test_fast_path_flag_dispatch():
+    """fast_path=False must actually select the reference loop."""
+    team, engine = _fresh_environment(
+        CONFIGS[CONFIG], Policy.BUDDY, profile_machine(PROFILE), age_seed=0
+    )
+    assert engine.fast_path  # default on
+    engine.fast_path = False
+    seen = []
+    engine._run_section_reference = lambda *a, **k: seen.append("ref") or {}
+    engine._run_section(
+        next(iter(build_spmd_program(
+            get_workload("blackscholes").scaled(profile_scale(PROFILE)),
+            team, RngStream(0, "blackscholes", CONFIG),
+        ).sections)),
+        0.0,
+        RunMetrics(name="x", policy="buddy", nthreads=team.nthreads),
+    )
+    assert seen == ["ref"]
