@@ -92,6 +92,9 @@ class CacheHierarchy:
         # Private caches use hashed indexing (VIPT-like), so page coloring
         # cannot shrink them; the LLC uses plain physical indexing, which
         # is exactly what makes its sets colorable via frame selection.
+        #: dirty LLC evictions posted to DRAM; mirrors
+        #: ``dram.stats.writebacks`` exactly (a sanitizer invariant).
+        self.dirty_evictions = 0
         self.l1 = [
             Cache(topology.l1, name=f"l1[{core}]", hash_index=True)
             for core in range(topology.num_cores)
@@ -256,6 +259,7 @@ class CacheHierarchy:
         if len(llc_set) >= self._llc_ways:
             old = next(iter(llc_set))
             if llc_set.pop(old):
+                self.dirty_evictions += 1
                 dram.writeback(old << self._line_bits, now)
         llc_set[line] = is_write
         self._fill_private(core, line, is_write, now)
@@ -284,6 +288,7 @@ class CacheHierarchy:
             self.dram.prefetch_fill(pf_paddr, core, now)
             victim = self.llc.insert(pf_line, dirty=False)
             if victim is not None and victim.dirty:
+                self.dirty_evictions += 1
                 self.dram.writeback(victim.line_addr << self._line_bits, now)
             l2_victim = self.l2[core].insert(pf_line, dirty=False)
             if l2_victim is not None and l2_victim.dirty:
@@ -354,6 +359,7 @@ class CacheHierarchy:
         if len(llc_set) >= self._llc_ways:
             old = next(iter(llc_set))
             if llc_set.pop(old):
+                self.dirty_evictions += 1
                 self.dram.writeback(old << self._line_bits, now)
         llc_set[line] = True
 
@@ -374,6 +380,7 @@ class CacheHierarchy:
         }
 
     def reset(self) -> None:
+        self.dirty_evictions = 0
         for cache in (*self.l1, *self.l2, self.llc):
             cache.reset()
         if self.prefetchers is not None:

@@ -46,6 +46,12 @@ def main(argv: list[str] | None = None) -> int:
                              "DIR: Perfetto trace_event JSON (open in "
                              "chrome://tracing or ui.perfetto.dev), JSONL "
                              "event log, and a counter-timeline CSV")
+    parser.add_argument("--sanitize", default="off",
+                        choices=["off", "cheap", "full"],
+                        help="arm runtime invariant checking (repro.sanitize)"
+                             " in every run; 'cheap' samples counter "
+                             "conservation, 'full' adds structural walks; "
+                             "'off' costs nothing")
     args = parser.parse_args(argv)
 
     out = Path(args.out)
@@ -63,7 +69,8 @@ def main(argv: list[str] | None = None) -> int:
             observer = NULL_OBSERVER if args.trace_out is None else Observer()
             fig10_records.append(
                 run_synthetic(policy, "16_threads_4_nodes", rep=rep,
-                              profile=args.profile, observer=observer)
+                              profile=args.profile, observer=observer,
+                              sanitize=args.sanitize)
             )
             if args.trace_out is not None:
                 paths = export_run(
@@ -91,6 +98,7 @@ def main(argv: list[str] | None = None) -> int:
         reps=args.reps,
         profile=args.profile,
         trace_dir=args.trace_out,
+        sanitize=args.sanitize,
     )
     write_csv(records, str(out / "main_sweep.csv"))
     print(f"(sweep took {time.time() - t0:.0f}s; CSV in {out})\n")

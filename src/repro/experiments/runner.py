@@ -23,6 +23,7 @@ from repro.experiments.configs import CONFIGS, ExperimentConfig
 from repro.kernel.kernel import Kernel
 from repro.machine.presets import MachineSpec, opteron_6128, opteron_6128_scaled
 from repro.obs import NULL_OBSERVER, BaseObserver, Observer, export_run
+from repro.sanitize import SanitizerObserver
 from repro.sim.engine import Engine, MemorySystem
 from repro.util.rng import RngStream
 from repro.util.units import GIB, MIB
@@ -90,6 +91,25 @@ class RunRecord:
         return max(self.thread_idles)
 
 
+def _sanitized_observer(level: str, inner: BaseObserver) -> BaseObserver:
+    """Wrap ``inner`` in a sanitizing observer unless ``level`` is "off".
+
+    "off" returns ``inner`` untouched — the run keeps the fast path and
+    pays zero overhead.  "cheap"/"full" force the traced engine path and
+    arm every layer checker (see :mod:`repro.sanitize`).
+    """
+    if level == "off":
+        return inner
+    return SanitizerObserver.for_level(level, inner=inner)
+
+
+def _arm_sanitizer(observer: BaseObserver, engine: Engine) -> None:
+    """Attach the per-layer checkers to a freshly built environment."""
+    if isinstance(observer, SanitizerObserver):
+        observer.sanitizer.attach_engine(engine)
+        observer.sanitizer.checkpoint("boot")
+
+
 def _fresh_environment(
     config: ExperimentConfig,
     policy: Policy,
@@ -137,13 +157,16 @@ def run_benchmark(
     machine: MachineSpec | None = None,
     profile: str = "full",
     observer: BaseObserver = NULL_OBSERVER,
+    sanitize: str = "off",
 ) -> RunRecord:
     """Execute one benchmark run and summarise it.
 
     ``profile`` selects machine + workload scaling together ("full" or
     "scaled"); explicit ``machine``/``scale`` arguments override it.
     ``observer`` (a fresh :class:`repro.obs.Observer`) records a trace
-    of the run; the default NullObserver records nothing.
+    of the run; the default NullObserver records nothing.  ``sanitize``
+    ("off"/"cheap"/"full") arms runtime invariant checking; "off" is
+    free, the other levels run the traced path with checkers attached.
     """
     config = CONFIGS[config_name]
     spec = get_workload(bench)
@@ -153,9 +176,11 @@ def run_benchmark(
         spec = spec.scaled(scale)
     if machine is None and profile != "full":
         machine = profile_machine(profile)
+    observer = _sanitized_observer(sanitize, observer)
     team, engine = _fresh_environment(
         config, policy, machine, age_seed=seed + rep, observer=observer
     )
+    _arm_sanitizer(observer, engine)
     rng = RngStream(seed + rep, bench, config_name)
     program = build_spmd_program(spec, team, rng)
     metrics = engine.run(program)
@@ -170,6 +195,7 @@ def run_synthetic(
     machine: MachineSpec | None = None,
     profile: str = "full",
     observer: BaseObserver = NULL_OBSERVER,
+    sanitize: str = "off",
 ) -> RunRecord:
     """Execute one synthetic-benchmark run (Fig. 10)."""
     config = CONFIGS[config_name]
@@ -182,9 +208,11 @@ def run_synthetic(
         )
     if machine is None and profile != "full":
         machine = profile_machine(profile)
+    observer = _sanitized_observer(sanitize, observer)
     team, engine = _fresh_environment(
         config, policy, machine, age_seed=rep, observer=observer
     )
+    _arm_sanitizer(observer, engine)
     program = build_synthetic_program(spec, team)
     metrics = engine.run(program)
     return _record_from_metrics(metrics, spec.name, policy, config_name, rep)
@@ -202,13 +230,15 @@ class SweepJob:
     #: when set, each run records a trace exported into this directory
     #: (one Perfetto JSON + JSONL + counter CSV per run).
     trace_dir: str | None = None
+    #: invariant-checking level ("off"/"cheap"/"full"); see repro.sanitize.
+    sanitize: str = "off"
 
 
 def _run_job(job: SweepJob) -> RunRecord:
     observer: BaseObserver = Observer() if job.trace_dir else NULL_OBSERVER
     record = run_benchmark(
         job.bench, job.policy, job.config, rep=job.rep, seed=job.seed,
-        profile=job.profile, observer=observer,
+        profile=job.profile, observer=observer, sanitize=job.sanitize,
     )
     if job.trace_dir:
         stem = f"{job.bench}_{job.policy.label}_{job.config}_rep{job.rep}"
@@ -226,6 +256,7 @@ def sweep(
     max_workers: int | None = None,
     parallel: bool | None = None,
     trace_dir: str | None = None,
+    sanitize: str = "off",
 ) -> list[RunRecord]:
     """Run the full cross product; this powers Figs. 11-14 in one pass.
 
@@ -234,11 +265,13 @@ def sweep(
     slow them down).  ``trace_dir`` enables per-run tracing: each job
     records its own :class:`repro.obs.Observer` (created inside the
     worker, so the pool fan-out still pickles cleanly) and exports one
-    Perfetto/JSONL/CSV bundle into the directory.
+    Perfetto/JSONL/CSV bundle into the directory.  ``sanitize`` arms
+    invariant checking in every worker (levels as in
+    :func:`run_benchmark`).
     """
     jobs = [
         SweepJob(bench=b, policy=p, config=c, rep=r, profile=profile,
-                 seed=seed, trace_dir=trace_dir)
+                 seed=seed, trace_dir=trace_dir, sanitize=sanitize)
         for b in benches
         for c in configs
         for p in policies

@@ -24,14 +24,31 @@ from repro.obs.observer import Observer
 _NS_PER_US = 1000.0
 
 
+def _json_default(value):
+    """Coerce non-JSON scalars (numpy ints/floats/bools) via ``.item()``.
+
+    Event args come straight from hot simulator state, which is numpy
+    almost everywhere — ``json.dumps`` must not crash the export on an
+    ``np.int16`` page count.
+    """
+    item = getattr(value, "item", None)
+    if item is not None:
+        return item()
+    raise TypeError(
+        f"Object of type {type(value).__name__} is not JSON serializable"
+    )
+
+
 # ---------------------------------------------------------------------- JSONL
 def to_jsonl(obs: Observer) -> str:
     """Serialise events (then counter samples) one JSON object per line."""
-    lines = [json.dumps(e.to_dict()) for e in obs.events]
+    lines = [json.dumps(e.to_dict(), default=_json_default)
+             for e in obs.events]
     names = obs.counter_names
     for ts, row in obs.samples:
         lines.append(json.dumps(
-            {"type": "sample", "ts": ts, "values": dict(zip(names, row))}
+            {"type": "sample", "ts": ts, "values": dict(zip(names, row))},
+            default=_json_default,
         ))
     return "\n".join(lines) + ("\n" if lines else "")
 
@@ -104,7 +121,7 @@ def to_perfetto(obs: Observer) -> dict:
 
 
 def write_perfetto(obs: Observer, path: str) -> None:
-    Path(path).write_text(json.dumps(to_perfetto(obs)))
+    Path(path).write_text(json.dumps(to_perfetto(obs), default=_json_default))
 
 
 # ------------------------------------------------------------------------ CSV

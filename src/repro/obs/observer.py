@@ -93,6 +93,14 @@ class BaseObserver:
     ) -> None:
         pass
 
+    def checkpoint(self, label: str = "", now: float = 0.0) -> None:
+        """Structural checkpoint (section boundary / explicit sync point).
+
+        The engine calls this between sections while tracing.  A no-op
+        for recording observers; the sanitizer's observer overrides it to
+        run its full invariant walks at well-defined quiescent points.
+        """
+
     # ------------------------------------------------------------ sampling
     def maybe_sample(self, now: float) -> None:
         pass

@@ -1,0 +1,117 @@
+"""Heap-layer checker: malloc metadata stays a set of disjoint spans.
+
+Guards :mod:`repro.alloc.heap`: live allocations and free-list slots must
+tile the arena chunks without overlap, freed slots must sit on a
+power-of-two class list inside their owning task's arena, and the byte
+accounting must match the live set exactly.
+"""
+
+from __future__ import annotations
+
+from repro.alloc.heap import MIN_CLASS, HeapAllocator
+from repro.sanitize.base import Checker
+
+
+class HeapChecker(Checker):
+    """Structural invariants of the user-level heap allocator."""
+
+    layer = "alloc"
+
+    def __init__(self, heap: HeapAllocator) -> None:
+        self.heap = heap
+
+    # ------------------------------------------------------------------ cheap
+    def check_fast(self) -> None:
+        """Accounting identities (no span sorting)."""
+        heap = self.heap
+        live_bytes = sum(info.size for info in heap._live.values())
+        if live_bytes != heap.bytes_allocated:
+            self.fail(
+                "bytes-accounting",
+                f"bytes_allocated={heap.bytes_allocated} but live allocations "
+                f"sum to {live_bytes}",
+            )
+        if heap.allocation_count < len(heap._live):
+            self.fail(
+                "count-accounting",
+                f"allocation_count={heap.allocation_count} < "
+                f"{len(heap._live)} live allocations",
+            )
+        for tid, arena in heap._arenas.items():
+            if arena.bump_ptr > arena.bump_end:
+                self.fail(
+                    "bump-overrun",
+                    f"arena of task {tid}: bump_ptr {arena.bump_ptr:#x} past "
+                    f"bump_end {arena.bump_end:#x}",
+                    tid=tid,
+                )
+
+    # ------------------------------------------------------------------ full
+    def check(self) -> None:
+        """Full span walk: live + free slots are pairwise disjoint."""
+        self.check_fast()
+        heap = self.heap
+
+        # (start, end, what) for every span the allocator believes it owns.
+        spans: list[tuple[int, int, str]] = []
+        for info in heap._live.values():
+            if info.va not in heap._live or heap._live[info.va] is not info:
+                self.fail(
+                    "live-index", f"allocation at {info.va:#x} misfiled",
+                    va=info.va,
+                )
+            if info.size_class is None:
+                end = info.vma.end if info.vma is not None else info.va + info.size
+            else:
+                if info.size > info.size_class:
+                    self.fail(
+                        "class-too-small",
+                        f"allocation of {info.size} bytes filed under class "
+                        f"{info.size_class}",
+                        va=info.va,
+                    )
+                end = info.va + info.size_class
+            spans.append((info.va, end, f"live:{info.va:#x}"))
+
+        seen_free: set[int] = set()
+        for tid, arena in heap._arenas.items():
+            chunk_ranges = [(c.start, c.end) for c in arena.chunks]
+            for cls, frees in arena.free_lists.items():
+                if cls < MIN_CLASS or cls & (cls - 1):
+                    self.fail(
+                        "bad-class",
+                        f"arena of task {tid} has free list for size {cls}",
+                        tid=tid, cls=cls,
+                    )
+                for va in frees:
+                    if va in heap._live:
+                        self.fail(
+                            "free-live-overlap",
+                            f"address {va:#x} is both live and on the class-"
+                            f"{cls} free list of task {tid}",
+                            va=va, tid=tid,
+                        )
+                    if va in seen_free:
+                        self.fail(
+                            "double-listed",
+                            f"address {va:#x} on two free lists",
+                            va=va,
+                        )
+                    seen_free.add(va)
+                    if not any(s <= va and va + cls <= e for s, e in chunk_ranges):
+                        self.fail(
+                            "free-outside-arena",
+                            f"freed slot {va:#x} (class {cls}) is outside "
+                            f"every chunk of task {tid}'s arena — returned to "
+                            "the wrong list",
+                            va=va, tid=tid, cls=cls,
+                        )
+                    spans.append((va, va + cls, f"free:t{tid}:{cls}"))
+
+        spans.sort()
+        for (s1, e1, w1), (s2, e2, w2) in zip(spans, spans[1:]):
+            if s2 < e1:
+                self.fail(
+                    "overlapping-spans",
+                    f"{w1} [{s1:#x}, {e1:#x}) overlaps {w2} [{s2:#x}, {e2:#x})",
+                )

@@ -1,0 +1,253 @@
+"""SimSanitizer core: violations, checkers, levels, and the observer hook.
+
+The sanitizer is a *read-only* safety net over the simulator's mutable
+state.  Each layer (kernel page allocator, user heap, cache hierarchy,
+DRAM system) gets a :class:`Checker` that walks the layer's structures
+and raises :class:`SanitizeViolation` on the first broken invariant.
+Checkers never mutate simulation state, so arming them cannot change a
+run's :class:`~repro.sim.metrics.RunMetrics` — only abort a corrupted
+one loudly instead of letting it publish plausible-looking numbers.
+
+Three levels (the ``--sanitize`` flag):
+
+* ``off``   — nothing is built; the engine keeps its NullObserver fast
+  path and pays zero overhead.
+* ``cheap`` — fast conservation checks (counter identities, frame-count
+  conservation) every :data:`CHEAP_CHECK_EVERY` observer events, full
+  structural walks only at section boundaries and run end.  Usable in CI.
+* ``full``  — full structural walks every :data:`FULL_CHECK_EVERY`
+  events on top of the boundary checkpoints.  The fuzz driver's mode.
+
+The sanitizer rides the existing :class:`~repro.obs.observer.BaseObserver`
+hook points: :class:`SanitizerObserver` is an enabled observer (so the
+engine dispatches to its traced replay loop, which calls the observer
+once per access) that counts events, runs sampled checks, and forwards
+every call to an inner observer (a recording
+:class:`~repro.obs.observer.Observer` or the default no-op).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.obs.observer import NULL_OBSERVER, BaseObserver
+
+#: Recognised sanitize levels, in increasing strictness.
+LEVELS = ("off", "cheap", "full")
+
+#: Default event cadence of *full structural* checks at level ``full``.
+FULL_CHECK_EVERY = 2048
+#: Default event cadence of *fast conservation* checks at level ``cheap``.
+CHEAP_CHECK_EVERY = 16384
+
+
+class SanitizeViolation(AssertionError):
+    """A broken simulator invariant, attributed to one layer.
+
+    Subclasses :class:`AssertionError` so existing property-test helpers
+    (``check_invariants``) and ``pytest.raises(AssertionError)`` compose;
+    structured fields let the fuzz driver and reports stay machine-readable.
+
+    Attributes:
+        layer: which checker fired ("kernel", "alloc", "cache", "dram",
+            "diff").
+        invariant: short identifier of the violated invariant.
+        detail: human-readable explanation with the offending values.
+        context: optional extra key/value payload.
+    """
+
+    def __init__(
+        self,
+        layer: str,
+        invariant: str,
+        detail: str,
+        context: dict[str, Any] | None = None,
+    ) -> None:
+        super().__init__(f"[{layer}] {invariant}: {detail}")
+        self.layer = layer
+        self.invariant = invariant
+        self.detail = detail
+        self.context = context or {}
+
+
+class Checker:
+    """Base class of the per-layer invariant checkers.
+
+    Subclasses set :attr:`layer` and implement :meth:`check` (the full
+    structural walk).  :meth:`check_fast` defaults to the full walk;
+    layers with an O(counters) subset override it so the ``cheap`` level
+    stays usable on large runs.
+    """
+
+    #: layer name used in violations ("kernel", "cache", ...).
+    layer = "?"
+
+    def check(self) -> None:
+        """Run the full structural invariant walk; raise on violation."""
+        raise NotImplementedError
+
+    def check_fast(self) -> None:
+        """Run the cheap (conservation-only) subset; default: full walk."""
+        self.check()
+
+    def fail(self, invariant: str, detail: str, **context: Any) -> None:
+        """Raise a :class:`SanitizeViolation` attributed to this layer."""
+        raise SanitizeViolation(self.layer, invariant, detail, context)
+
+
+class Sanitizer:
+    """A set of armed checkers plus the sampling policy for one run.
+
+    Args:
+        level: "cheap" or "full" ("off" is represented by *not* building
+            a sanitizer at all — see :func:`sanitizing_observer`).
+        check_every: override the event cadence of sampled checks; None
+            picks the level default (:data:`FULL_CHECK_EVERY` /
+            :data:`CHEAP_CHECK_EVERY`).
+    """
+
+    def __init__(self, level: str = "full", check_every: int | None = None) -> None:
+        if level not in LEVELS or level == "off":
+            raise ValueError(f"level must be 'cheap' or 'full', got {level!r}")
+        self.level = level
+        if check_every is None:
+            check_every = (
+                FULL_CHECK_EVERY if level == "full" else CHEAP_CHECK_EVERY
+            )
+        if check_every <= 0:
+            raise ValueError("check_every must be positive")
+        self.check_every = check_every
+        self.checkers: list[Checker] = []
+        #: observer events seen since the run started.
+        self.events_seen = 0
+        #: sampled (tick-driven) check passes executed.
+        self.sampled_checks = 0
+        #: explicit checkpoints executed (section boundaries, run end).
+        self.checkpoints = 0
+        self._until_next = check_every
+
+    # ------------------------------------------------------------------ wiring
+    def add(self, checker: Checker) -> None:
+        """Arm one checker."""
+        self.checkers.append(checker)
+
+    def attach_engine(self, engine) -> "Sanitizer":
+        """Arm the standard four layer checkers for one engine's machine.
+
+        Imports locally to avoid import cycles (the layer modules do not
+        know about the sanitizer).
+        """
+        from repro.sanitize.alloc_check import HeapChecker
+        from repro.sanitize.cache_check import CacheChecker
+        from repro.sanitize.dram_check import DramChecker
+        from repro.sanitize.kernel_check import KernelChecker
+
+        self.add(KernelChecker(engine.kernel))
+        self.add(HeapChecker(engine.team.tm.heap))
+        self.add(CacheChecker(engine.memory.hierarchy))
+        self.add(DramChecker(engine.memory.dram))
+        return self
+
+    # ------------------------------------------------------------------ checks
+    def checkpoint(self, label: str = "") -> None:
+        """Run every checker's full structural walk (explicit checkpoint)."""
+        self.checkpoints += 1
+        for checker in self.checkers:
+            checker.check()
+
+    def tick(self) -> None:
+        """Count one observer event; run the sampled checks on cadence.
+
+        At ``full`` the sampled pass is the complete structural walk; at
+        ``cheap`` it is each checker's fast conservation subset.
+        """
+        self.events_seen += 1
+        self._until_next -= 1
+        if self._until_next > 0:
+            return
+        self._until_next = self.check_every
+        self.sampled_checks += 1
+        if self.level == "full":
+            for checker in self.checkers:
+                checker.check()
+        else:
+            for checker in self.checkers:
+                checker.check_fast()
+
+
+class SanitizerObserver(BaseObserver):
+    """An enabled observer that runs sanitizer checks off the hook points.
+
+    Wraps an inner observer (default: the no-op
+    :data:`~repro.obs.observer.NULL_OBSERVER`) and forwards every call,
+    so sanitizing composes with tracing.  Being ``enabled`` routes the
+    engine through its traced replay loop, whose per-access hooks
+    (``maybe_sample``) and per-layer events (kernel allocations, DRAM
+    transactions) drive :meth:`Sanitizer.tick`; the engine's per-section
+    :meth:`checkpoint` calls and the end-of-run :meth:`finish` run the
+    full structural walks.
+    """
+
+    enabled = True
+
+    def __init__(
+        self, sanitizer: Sanitizer, inner: BaseObserver = NULL_OBSERVER
+    ) -> None:
+        self.sanitizer = sanitizer
+        self.inner = inner
+
+    @classmethod
+    def for_level(
+        cls,
+        level: str,
+        inner: BaseObserver = NULL_OBSERVER,
+        check_every: int | None = None,
+    ) -> "SanitizerObserver":
+        """Build an armed observer for a ``--sanitize`` level."""
+        return cls(Sanitizer(level, check_every=check_every), inner=inner)
+
+    # ``now`` is proxied so layers reading ``obs.now`` (the kernel) see
+    # the engine's clock even when the inner observer is the recorder.
+    @property
+    def now(self) -> float:
+        """Current sim time (proxied to the inner observer's cursor)."""
+        return self.inner.now
+
+    @now.setter
+    def now(self, value: float) -> None:
+        self.inner.now = value
+
+    # ------------------------------------------------------------------ hooks
+    def register_counter(self, name: str, fn: Callable[[float], float]) -> None:
+        self.inner.register_counter(name, fn)
+
+    def span(self, name, begin, end, track="engine", tid=0, args=None) -> None:
+        self.inner.span(name, begin, end, track=track, tid=tid, args=args)
+        self.sanitizer.tick()
+
+    def span_begin(self, name, ts, track="engine", tid=0, args=None) -> None:
+        self.inner.span_begin(name, ts, track=track, tid=tid, args=args)
+        self.sanitizer.tick()
+
+    def span_end(self, ts, track="engine", tid=0, args=None) -> None:
+        self.inner.span_end(ts, track=track, tid=tid, args=args)
+        self.sanitizer.tick()
+
+    def instant(self, name, ts, track="engine", tid=0, args=None) -> None:
+        self.inner.instant(name, ts, track=track, tid=tid, args=args)
+        self.sanitizer.tick()
+
+    def maybe_sample(self, now: float) -> None:
+        self.inner.maybe_sample(now)
+        self.sanitizer.tick()
+
+    def sample(self, now: float) -> None:
+        self.inner.sample(now)
+
+    def checkpoint(self, label: str = "", now: float = 0.0) -> None:
+        self.inner.checkpoint(label, now)
+        self.sanitizer.checkpoint(label)
+
+    def finish(self, now: float) -> None:
+        self.inner.finish(now)
+        self.sanitizer.checkpoint("finish")

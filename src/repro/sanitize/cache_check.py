@@ -1,0 +1,105 @@
+"""Cache-layer checker: set structure, counter conservation, dirty flow.
+
+Guards :mod:`repro.cache` (cache.py / hierarchy.py): every set's
+insertion-ordered dict (the LRU recency order) must hold at most ``ways``
+distinct lines that all index to that set; the per-level hit/miss
+counters must never run backwards; and the miss counts must be conserved
+down the hierarchy — every L1 miss becomes an L2 lookup, every L2 miss
+an LLC lookup, every LLC miss a DRAM demand access, and every dirty LLC
+eviction exactly one DRAM write-back
+(``hierarchy.dirty_evictions == dram.stats.writebacks``).
+
+The conservation identities rely on the instrumented (traced) engine
+path, where counters update inline with each access — which is the only
+path a sanitizer runs under.
+"""
+
+from __future__ import annotations
+
+from repro.cache.cache import Cache
+from repro.cache.hierarchy import CacheHierarchy
+from repro.sanitize.base import Checker
+
+
+class CacheChecker(Checker):
+    """Structural and conservation invariants of the cache hierarchy."""
+
+    layer = "cache"
+
+    def __init__(self, hierarchy: CacheHierarchy) -> None:
+        self.hierarchy = hierarchy
+        # Last seen (hits, misses) per cache, for monotonicity.
+        self._last: dict[str, tuple[int, int]] = {}
+
+    def _caches(self) -> list[Cache]:
+        h = self.hierarchy
+        return [*h.l1, *h.l2, h.llc]
+
+    # ------------------------------------------------------------------ cheap
+    def check_fast(self) -> None:
+        """Counter monotonicity + level-to-level miss conservation."""
+        h = self.hierarchy
+        for cache in self._caches():
+            if cache.hits < 0 or cache.misses < 0:
+                self.fail(
+                    "counter-negative",
+                    f"{cache.name}: hits={cache.hits} misses={cache.misses}",
+                )
+            prev = self._last.get(cache.name)
+            if prev is not None and (cache.hits < prev[0] or cache.misses < prev[1]):
+                self.fail(
+                    "counter-rewind",
+                    f"{cache.name}: counters went from {prev} to "
+                    f"({cache.hits}, {cache.misses})",
+                )
+            self._last[cache.name] = (cache.hits, cache.misses)
+
+        l1_misses = sum(c.misses for c in h.l1)
+        l2_lookups = sum(c.hits + c.misses for c in h.l2)
+        if l1_misses != l2_lookups:
+            self.fail(
+                "l1-l2-conservation",
+                f"{l1_misses} L1 misses but {l2_lookups} L2 lookups",
+            )
+        l2_misses = sum(c.misses for c in h.l2)
+        if l2_misses != h.llc.accesses:
+            self.fail(
+                "l2-llc-conservation",
+                f"{l2_misses} L2 misses but {h.llc.accesses} LLC lookups",
+            )
+        if h.llc.misses != h.dram.stats.accesses:
+            self.fail(
+                "llc-dram-conservation",
+                f"{h.llc.misses} LLC misses but {h.dram.stats.accesses} DRAM "
+                "demand accesses",
+            )
+        if h.dirty_evictions != h.dram.stats.writebacks:
+            self.fail(
+                "dirty-writeback-accounting",
+                f"{h.dirty_evictions} dirty LLC evictions but "
+                f"{h.dram.stats.writebacks} DRAM write-backs",
+            )
+
+    # ------------------------------------------------------------------ full
+    def check(self) -> None:
+        """Full set walk: capacity, placement, and entry uniqueness."""
+        self.check_fast()
+        for cache in self._caches():
+            ways = cache._ways
+            for idx, entries in enumerate(cache._sets):
+                if len(entries) > ways:
+                    self.fail(
+                        "set-overflow",
+                        f"{cache.name} set {idx} holds {len(entries)} lines, "
+                        f"associativity is {ways}",
+                        cache=cache.name, set=idx,
+                    )
+                for line in entries:
+                    if cache.set_of_line(line) != idx:
+                        self.fail(
+                            "line-misplaced",
+                            f"{cache.name}: line {line:#x} stored in set "
+                            f"{idx} but indexes to set "
+                            f"{cache.set_of_line(line)} — corrupted LRU order",
+                            cache=cache.name, set=idx, line=line,
+                        )

@@ -1,0 +1,295 @@
+"""Randomized fuzzing of the whole simulator with all checkers armed.
+
+Each :class:`FuzzCase` is a seed-derived miniature experiment: a small
+machine, a pinned colored team, and a few rounds of random heap churn
+(malloc / touch / free) interleaved with random-access programs replayed
+through the engine.  Every round runs with a
+:class:`~repro.sanitize.base.SanitizerObserver` armed at the chosen
+level, so any invariant the workload manages to break aborts the case
+with a :class:`~repro.sanitize.base.SanitizeViolation`.
+
+On a violation the driver *shrinks* the case (fewer rounds, fewer
+threads, shorter traces, smaller regions) while the violation still
+reproduces, and emits a standalone repro snippet.
+
+The whole module is deterministic in the case seed: re-running a
+reported case reproduces the violation bit for bit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.alloc.policies import Policy
+from repro.core.session import ColoredTeam
+from repro.core.tintmalloc import TintMalloc
+from repro.kernel.kernel import Kernel, OutOfColoredMemory, OutOfMemory
+from repro.machine.presets import tiny_machine
+from repro.sanitize.base import SanitizerObserver, SanitizeViolation
+from repro.sim.barrier import Program, Section
+from repro.sim.engine import Engine, MemorySystem
+from repro.sim.trace import Trace
+from repro.util.rng import RngStream, derive_seed
+from repro.util.units import KIB, MIB
+
+#: Policies the fuzzer cycles through (the paper's headline settings).
+FUZZ_POLICIES = ("buddy", "llc", "mem", "mem+llc")
+
+#: Access-pattern shapes a trace can take.
+PATTERNS = ("sequential", "strided", "random")
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One deterministic fuzz scenario (fully described by its fields)."""
+
+    seed: int
+    memory_mib: int = 8
+    policy: str = "mem+llc"
+    nthreads: int = 2
+    rounds: int = 2
+    regions_per_thread: int = 2
+    region_kib: int = 16
+    accesses_per_thread: int = 400
+    write_fraction: float = 0.5
+    free_fraction: float = 0.5
+    with_serial: bool = True
+
+    @classmethod
+    def generate(cls, seed: int) -> "FuzzCase":
+        """Derive a random case from a seed (deterministically)."""
+        rng = RngStream(seed, "fuzz", "case")
+        return cls(
+            seed=seed,
+            memory_mib=int(rng.choice([4, 8, 16])),
+            policy=str(rng.choice(list(FUZZ_POLICIES))),
+            nthreads=int(rng.integers(1, 5)),
+            rounds=int(rng.integers(1, 4)),
+            regions_per_thread=int(rng.integers(1, 4)),
+            region_kib=int(rng.choice([4, 8, 16, 32])),
+            accesses_per_thread=int(rng.integers(100, 1200)),
+            write_fraction=float(rng.choice([0.0, 0.3, 0.5, 1.0])),
+            free_fraction=float(rng.choice([0.0, 0.5, 1.0])),
+            with_serial=bool(rng.integers(0, 2)),
+        )
+
+
+def _trace_for(
+    rng: RngStream, base: int, length: int, case: FuzzCase, label: str
+) -> Trace:
+    """Random accesses over ``[base, base+length)`` in one of the shapes."""
+    line = 64  # tiny_machine line size; sub-line offsets are irrelevant
+    nlines = max(1, length // line)
+    n = max(1, case.accesses_per_thread)
+    pattern = str(rng.choice(list(PATTERNS)))
+    if pattern == "sequential":
+        idx = np.arange(n) % nlines
+    elif pattern == "strided":
+        stride = int(rng.choice([2, 3, 7]))
+        idx = (np.arange(n) * stride) % nlines
+    else:
+        idx = rng.integers(0, nlines, size=n)
+    vaddrs = base + idx.astype(np.int64) * line
+    writes = rng.random(n) < case.write_fraction
+    return Trace(vaddrs=vaddrs, writes=writes, think_ns=5.0, label=label)
+
+
+def run_case(
+    case: FuzzCase, level: str = "full", check_every: int = 64
+) -> None:
+    """Execute one case with all checkers armed; raises on violation.
+
+    ``check_every`` defaults far below the production cadence so short
+    fuzz programs still get many sampled checks.
+    """
+    observer = SanitizerObserver.for_level(level, check_every=check_every)
+    sanitizer = observer.sanitizer
+    machine = tiny_machine(case.memory_mib * MIB)
+    kernel = Kernel(machine, aged=True, age_seed=case.seed, observer=observer)
+    tm = TintMalloc(kernel=kernel)
+    cores = [i % machine.topology.num_cores for i in range(case.nthreads)]
+    team = ColoredTeam.create(tm, cores, Policy(case.policy))
+    memory = MemorySystem.for_machine(machine, observer=observer)
+    engine = Engine(team, memory, observer=observer)
+    sanitizer.attach_engine(engine)
+    sanitizer.checkpoint("boot")
+
+    rng = RngStream(case.seed, "fuzz", "workload")
+    regions: list[list[tuple[int, int]]] = [[] for _ in team.handles]
+    for round_no in range(case.rounds):
+        # Heap churn: top regions up, with checks after the mutation.
+        for t, handle in enumerate(team.handles):
+            while len(regions[t]) < case.regions_per_thread:
+                size = case.region_kib * KIB
+                va = handle.malloc(size, label=f"fuzz:r{round_no}:t{t}")
+                regions[t].append((va, size))
+        sanitizer.checkpoint(f"malloc[{round_no}]")
+
+        sections = []
+        if case.with_serial:
+            va, size = regions[0][int(rng.integers(0, len(regions[0])))]
+            sections.append(Section(
+                kind="serial",
+                traces={0: _trace_for(rng.child("serial", round_no), va, size,
+                                      case, f"serial[{round_no}]")},
+                label=f"serial[{round_no}]",
+            ))
+        traces = {}
+        for t in range(case.nthreads):
+            va, size = regions[t][int(rng.integers(0, len(regions[t])))]
+            traces[t] = _trace_for(
+                rng.child("par", round_no, t), va, size, case,
+                f"compute[{round_no}]:t{t}",
+            )
+        sections.append(Section(
+            kind="parallel", traces=traces, label=f"compute[{round_no}]"
+        ))
+        engine.run(Program(
+            sections=sections, nthreads=team.nthreads,
+            name=f"fuzz[{case.seed}]",
+        ))
+
+        # Free a random subset, then verify the frames really came back.
+        for t, handle in enumerate(team.handles):
+            keep = []
+            for va, size in regions[t]:
+                if rng.random() < case.free_fraction:
+                    handle.free(va)
+                else:
+                    keep.append((va, size))
+            regions[t] = keep
+        sanitizer.checkpoint(f"free[{round_no}]")
+    sanitizer.checkpoint("end")
+
+
+def shrink_case(
+    case: FuzzCase,
+    reproduces,
+    max_steps: int = 64,
+) -> FuzzCase:
+    """Greedy shrink: try field reductions, keep those that still fail.
+
+    ``reproduces(case) -> bool`` must re-run the case and report whether
+    the violation still occurs.
+    """
+
+    def candidates(c: FuzzCase):
+        if c.rounds > 1:
+            yield dataclasses.replace(c, rounds=c.rounds // 2)
+            yield dataclasses.replace(c, rounds=c.rounds - 1)
+        if c.nthreads > 1:
+            yield dataclasses.replace(c, nthreads=c.nthreads // 2)
+            yield dataclasses.replace(c, nthreads=c.nthreads - 1)
+        if c.accesses_per_thread > 50:
+            yield dataclasses.replace(
+                c, accesses_per_thread=c.accesses_per_thread // 2
+            )
+        if c.regions_per_thread > 1:
+            yield dataclasses.replace(
+                c, regions_per_thread=c.regions_per_thread - 1
+            )
+        if c.region_kib > 4:
+            yield dataclasses.replace(c, region_kib=c.region_kib // 2)
+        if c.with_serial:
+            yield dataclasses.replace(c, with_serial=False)
+
+    steps = 0
+    improved = True
+    while improved and steps < max_steps:
+        improved = False
+        for candidate in candidates(case):
+            steps += 1
+            if steps > max_steps:
+                break
+            if reproduces(candidate):
+                case = candidate
+                improved = True
+                break
+    return case
+
+
+def repro_snippet(case: FuzzCase, level: str, check_every: int) -> str:
+    """A standalone snippet that replays the violating case."""
+    return (
+        "from repro.sanitize.fuzz import FuzzCase, run_case\n"
+        f"run_case({case!r}, level={level!r}, check_every={check_every})\n"
+    )
+
+
+@dataclass
+class FuzzFailure:
+    """A violation found by the fuzzer, with its minimized repro."""
+
+    case: FuzzCase
+    shrunk: FuzzCase
+    violation: str
+    snippet: str
+
+
+@dataclass
+class FuzzResult:
+    """Outcome of one fuzzing session."""
+
+    cases_run: int
+    elapsed_s: float
+    failure: FuzzFailure | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+
+def fuzz(
+    budget_s: float = 30.0,
+    seed: int = 0,
+    level: str = "full",
+    check_every: int = 64,
+    max_cases: int | None = None,
+    on_case=None,
+) -> FuzzResult:
+    """Generate and run cases until the time budget runs out or one fails.
+
+    ``on_case(index, case)`` is an optional progress callback.  Cases
+    that exhaust simulated memory are skipped (the generator aims below
+    capacity, but colored capacity depends on the sampled policy) —
+    running out of colored memory is defined behaviour, not a bug.
+    """
+    start = time.monotonic()
+    index = 0
+    while time.monotonic() - start < budget_s:
+        if max_cases is not None and index >= max_cases:
+            break
+        case = FuzzCase.generate(derive_seed(seed, "fuzz", index))
+        if on_case is not None:
+            on_case(index, case)
+        index += 1
+        try:
+            run_case(case, level=level, check_every=check_every)
+        except (OutOfMemory, OutOfColoredMemory):
+            continue
+        except SanitizeViolation as violation:
+            def reproduces(candidate: FuzzCase) -> bool:
+                try:
+                    run_case(candidate, level=level, check_every=check_every)
+                except (OutOfMemory, OutOfColoredMemory):
+                    return False
+                except SanitizeViolation:
+                    return True
+                return False
+
+            shrunk = shrink_case(case, reproduces)
+            return FuzzResult(
+                cases_run=index,
+                elapsed_s=time.monotonic() - start,
+                failure=FuzzFailure(
+                    case=case,
+                    shrunk=shrunk,
+                    violation=str(violation),
+                    snippet=repro_snippet(shrunk, level, check_every),
+                ),
+            )
+    return FuzzResult(cases_run=index, elapsed_s=time.monotonic() - start)

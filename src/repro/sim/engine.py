@@ -154,6 +154,7 @@ class Engine:
             if tracing:
                 obs.span_end(section_end, track="engine",
                              args={"idle": sm.idle, "faults": sm.faults})
+                obs.checkpoint(label, section_end)
             metrics.sections.append(sm)
             wall = section_end
         metrics.runtime = wall

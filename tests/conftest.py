@@ -10,6 +10,20 @@ from repro.machine.presets import opteron_6128, tiny_machine
 from repro.util.units import MIB
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="rewrite tests/golden/ fixtures from current behaviour "
+             "(then eyeball the diff before committing)",
+    )
+
+
+@pytest.fixture
+def update_golden(request) -> bool:
+    """True when the run should refresh golden fixtures instead of assert."""
+    return request.config.getoption("--update-golden")
+
+
 @pytest.fixture
 def tiny():
     """A 2-node / 4-core machine with 64 MiB of memory."""

@@ -1,0 +1,136 @@
+"""Golden-metrics regression tests: pinned digests of real runs.
+
+Each golden entry pins the sha256 of the *complete* canonicalised
+RunMetrics tree of one mini-profile fig. 10 / fig. 11 run, plus a few
+headline fields so a failure is readable without re-deriving anything.
+Any behaviour change anywhere in the stack — kernel placement, cache
+replacement, DRAM timing, engine scheduling — changes the digest.
+
+When a change is *intentional*, refresh the fixtures and review the
+headline-field diff::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_metrics.py \
+        --update-golden
+
+An unintentional digest change means simulation semantics drifted; use
+``repro.sanitize.diff.metrics_snapshot`` on old/new checkouts to find
+the first divergent field.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.alloc.policies import Policy
+from repro.experiments.configs import CONFIGS
+from repro.experiments.runner import (
+    _fresh_environment,
+    profile_machine,
+    profile_scale,
+)
+from repro.sanitize.diff import metrics_snapshot
+from repro.util.rng import RngStream
+from repro.workloads.base import build_spmd_program
+from repro.workloads.registry import get_workload
+from repro.workloads.synthetic import SyntheticSpec, build_synthetic_program
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "metrics.json"
+CONFIG = "16_threads_4_nodes"
+PROFILE = "mini"
+
+
+def _run_fig11(bench: str, policy: Policy):
+    team, engine = _fresh_environment(
+        CONFIGS[CONFIG], policy, profile_machine(PROFILE), age_seed=0
+    )
+    spec = get_workload(bench).scaled(profile_scale(PROFILE))
+    program = build_spmd_program(spec, team, RngStream(0, bench, CONFIG))
+    return engine.run(program)
+
+
+def _run_fig10(policy: Policy):
+    team, engine = _fresh_environment(
+        CONFIGS[CONFIG], policy, profile_machine(PROFILE), age_seed=0
+    )
+    program = build_synthetic_program(
+        SyntheticSpec(per_thread_bytes=64 * 1024), team
+    )
+    return engine.run(program)
+
+
+#: name -> zero-arg runner producing the RunMetrics to pin.
+GOLDEN_RUNS = {
+    "fig10_synthetic_buddy": lambda: _run_fig10(Policy.BUDDY),
+    "fig10_synthetic_mem_llc": lambda: _run_fig10(Policy.MEM_LLC),
+    "fig11_lbm_buddy": lambda: _run_fig11("lbm", Policy.BUDDY),
+    "fig11_lbm_mem_llc": lambda: _run_fig11("lbm", Policy.MEM_LLC),
+    "fig11_blackscholes_mem_llc":
+        lambda: _run_fig11("blackscholes", Policy.MEM_LLC),
+}
+
+
+def _canonical(tree) -> str:
+    """Deterministic JSON: sorted keys, exact float repr, no whitespace."""
+    return json.dumps(tree, sort_keys=True, separators=(",", ":"))
+
+
+def digest_metrics(metrics) -> dict:
+    """The pinned form: full-tree sha256 + human-readable headline."""
+    snap = metrics_snapshot(metrics)
+    return {
+        "sha256": hashlib.sha256(_canonical(snap).encode()).hexdigest(),
+        "headline": {
+            "runtime": metrics.runtime,
+            "dram_accesses": metrics.dram.accesses if metrics.dram else 0,
+            "llc_misses": metrics.cache["llc"].misses,
+            "remote_fraction": metrics.remote_fraction,
+            "faults": sum(t.faults for t in metrics.threads),
+        },
+    }
+
+
+def _load_golden() -> dict:
+    if not GOLDEN_PATH.exists():
+        return {}
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def _store_golden(name: str, digest: dict) -> None:
+    golden = _load_golden()
+    golden[name] = digest
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(
+        json.dumps(golden, indent=2, sort_keys=True) + "\n"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_RUNS))
+def test_golden_metrics(name, update_golden):
+    digest = digest_metrics(GOLDEN_RUNS[name]())
+    if update_golden:
+        _store_golden(name, digest)
+        return
+    golden = _load_golden()
+    assert name in golden, (
+        f"no golden entry for {name!r}; run with --update-golden to create"
+    )
+    expected = golden[name]
+    assert digest["headline"] == expected["headline"], (
+        f"{name}: headline metrics drifted (see field diff above); if "
+        f"intentional, refresh with --update-golden"
+    )
+    assert digest["sha256"] == expected["sha256"], (
+        f"{name}: full metrics tree drifted although headline fields "
+        f"match — some deeper field changed; diff metrics_snapshot() "
+        f"between checkouts, then --update-golden if intentional"
+    )
+
+
+def test_golden_file_has_no_orphans():
+    """Every pinned entry must correspond to a runnable golden run."""
+    orphans = set(_load_golden()) - set(GOLDEN_RUNS)
+    assert not orphans, f"golden entries without runners: {sorted(orphans)}"

@@ -4,6 +4,8 @@ import csv
 import io
 import json
 
+import numpy as np
+
 from repro.obs import (
     Observer,
     counters_to_csv,
@@ -104,6 +106,63 @@ class TestCountersCsv:
         obs.sample(5.0)
         rows = list(csv.reader(io.StringIO(counters_to_csv(obs))))
         assert rows[0] == ["ts_ns"]
+
+
+class TestEdgeCases:
+    """Empty traces, zero barriers, and numpy scalars must export cleanly."""
+
+    def test_numpy_scalar_args_jsonl(self):
+        # Kernel instants pass numpy scalars (e.g. an int16 page count)
+        # straight from hot state; the exporter must coerce, not crash.
+        obs = Observer()
+        obs.instant("kernel.alloc.failed", 10.0, track="kernel",
+                    args={"pages": np.int16(7), "node": np.int64(1),
+                          "frac": np.float64(0.5), "huge": np.bool_(True)})
+        parsed = json.loads(to_jsonl(obs).strip())
+        assert parsed["args"] == {
+            "pages": 7, "node": 1, "frac": 0.5, "huge": True,
+        }
+
+    def test_numpy_scalar_args_perfetto(self, tmp_path):
+        obs = Observer()
+        obs.span("dram.access", 0.0, np.float64(50.0), track="dram",
+                 args={"bank": np.int32(3)})
+        paths = export_run(obs, str(tmp_path), "np_args")
+        doc = json.loads(open(paths["perfetto"]).read())
+        span = next(e for e in doc["traceEvents"] if e["ph"] == "X")
+        assert span["args"] == {"bank": 3}
+
+    def test_non_serializable_args_still_raise(self):
+        obs = Observer()
+        obs.instant("bad", 0.0, args={"obj": object()})
+        try:
+            to_jsonl(obs)
+        except TypeError as err:
+            assert "not JSON serializable" in str(err)
+        else:
+            raise AssertionError("expected TypeError for object() arg")
+
+    def test_empty_trace_export_run(self, tmp_path):
+        # A run that recorded nothing (e.g. --trace-out on a zero-event
+        # program) must still write valid, empty artefacts.
+        paths = export_run(Observer(), str(tmp_path / "empty"), "run0")
+        assert open(paths["jsonl"]).read() == ""
+        doc = json.loads(open(paths["perfetto"]).read())
+        assert doc["traceEvents"] == []
+        rows = list(csv.reader(open(paths["counters"])))
+        assert rows == [["ts_ns"]]
+
+    def test_zero_barrier_program_export(self, tmp_path):
+        # Counters registered but never sampled (no barriers reached):
+        # header-only CSV, no "C" events, metadata rows only.
+        obs = Observer()
+        obs.register_counter("dram.accesses", lambda now: 0)
+        paths = export_run(obs, str(tmp_path), "zero_barriers")
+        rows = list(csv.reader(open(paths["counters"])))
+        assert rows == [["ts_ns", "dram.accesses"]]
+        doc = json.loads(open(paths["perfetto"]).read())
+        assert [e["ph"] for e in doc["traceEvents"]] == ["M"]
+        assert open(paths["jsonl"]).read() == ""
 
 
 class TestExportRun:

@@ -1,0 +1,93 @@
+"""Fuzz the simulator with every invariant checker armed.
+
+Thin CLI over :func:`repro.sanitize.fuzz.fuzz`: generates random
+machine/workload/policy cases from a seed, runs each one end to end with
+the sanitizer at the chosen level, and on the first invariant violation
+prints the shrunk case plus a standalone repro snippet and exits 1.
+
+Usage::
+
+    PYTHONPATH=src python tools/fuzz_sim.py --budget 120s --seed 3
+    PYTHONPATH=src python tools/fuzz_sim.py --budget 2m --level cheap
+
+``--budget`` accepts plain seconds ("30"), seconds with a suffix
+("120s"), or minutes ("2m").  Exit status: 0 = no violation within the
+budget, 1 = a violation was found (repro printed), 2 = bad arguments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.sanitize.fuzz import fuzz  # noqa: E402
+
+
+def parse_budget(text: str) -> float:
+    """'30' / '120s' / '2m' -> seconds."""
+    text = text.strip().lower()
+    factor = 1.0
+    if text.endswith("m"):
+        factor, text = 60.0, text[:-1]
+    elif text.endswith("s"):
+        text = text[:-1]
+    try:
+        seconds = float(text) * factor
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad budget: {text!r}") from None
+    if seconds <= 0:
+        raise argparse.ArgumentTypeError("budget must be positive")
+    return seconds
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="fuzz_sim", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("--budget", type=parse_budget, default=30.0,
+                        metavar="TIME", help="wall-clock budget, e.g. "
+                        "'30', '120s', '2m' (default 30s)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="master seed for case generation")
+    parser.add_argument("--level", default="full", choices=["cheap", "full"],
+                        help="sanitizer level for every case")
+    parser.add_argument("--check-every", type=int, default=64,
+                        help="sampled-check cadence in events (default 64; "
+                        "fuzz cases are short, so check often)")
+    parser.add_argument("--max-cases", type=int, default=None,
+                        help="stop after N cases even if budget remains")
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="print each case as it starts")
+    args = parser.parse_args(argv)
+
+    def on_case(index, case):
+        if args.verbose:
+            print(f"[{index}] {case}", flush=True)
+
+    result = fuzz(
+        budget_s=args.budget, seed=args.seed, level=args.level,
+        check_every=args.check_every, max_cases=args.max_cases,
+        on_case=on_case,
+    )
+    rate = result.cases_run / result.elapsed_s if result.elapsed_s else 0.0
+    print(f"ran {result.cases_run} cases in {result.elapsed_s:.1f}s "
+          f"({rate:.1f}/s), seed={args.seed}, level={args.level}")
+    if result.ok:
+        print("no invariant violations")
+        return 0
+    failure = result.failure
+    print("\nINVARIANT VIOLATION")
+    print(f"  {failure.violation}")
+    print(f"  original case: {failure.case}")
+    print(f"  shrunk case:   {failure.shrunk}")
+    print("\nrepro (PYTHONPATH=src python -c '...'):")
+    for line in failure.snippet.rstrip().splitlines():
+        print(f"  {line}")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
