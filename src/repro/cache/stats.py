@@ -30,3 +30,13 @@ class CacheLevelStats:
             name=self.name, hits=self.hits + other.hits,
             misses=self.misses + other.misses,
         )
+
+    def to_json(self) -> dict:
+        """Plain-dict form (used by :meth:`RunMetrics.to_json`)."""
+        return {"name": self.name, "hits": self.hits, "misses": self.misses}
+
+    @classmethod
+    def from_json(cls, data: dict) -> "CacheLevelStats":
+        """Inverse of :meth:`to_json`."""
+        return cls(name=data["name"], hits=int(data["hits"]),
+                   misses=int(data["misses"]))

@@ -52,6 +52,11 @@ def main(argv: list[str] | None = None) -> int:
                              " in every run; 'cheap' samples counter "
                              "conservation, 'full' adds structural walks; "
                              "'off' costs nothing")
+    parser.add_argument("--cache", default=None, metavar="PATH",
+                        help="content-addressed result store for the main "
+                             "sweep (.jsonl or .sqlite, via repro.service); "
+                             "reruns reuse any (config, policy, seed) run "
+                             "already stored instead of simulating it again")
     args = parser.parse_args(argv)
 
     out = Path(args.out)
@@ -99,6 +104,7 @@ def main(argv: list[str] | None = None) -> int:
         profile=args.profile,
         trace_dir=args.trace_out,
         sanitize=args.sanitize,
+        cache=args.cache,
     )
     write_csv(records, str(out / "main_sweep.csv"))
     print(f"(sweep took {time.time() - t0:.0f}s; CSV in {out})\n")

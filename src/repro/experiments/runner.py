@@ -6,14 +6,14 @@ use different trace seeds; the seed is derived from (bench, config, rep)
 but **not** the policy, so policies are compared on identical traces, as
 on real hardware where the program does not depend on the allocator.
 
-:func:`sweep` fans runs out over a process pool — runs are completely
-independent simulations.
+:func:`sweep` fans runs out through :mod:`repro.service` — runs are
+completely independent simulations, so they shard cleanly over isolated
+worker processes and cache by content digest.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 from repro.alloc.policies import Policy
@@ -22,9 +22,10 @@ from repro.core.tintmalloc import TintMalloc
 from repro.experiments.configs import CONFIGS, ExperimentConfig
 from repro.kernel.kernel import Kernel
 from repro.machine.presets import MachineSpec, opteron_6128, opteron_6128_scaled
-from repro.obs import NULL_OBSERVER, BaseObserver, Observer, export_run
+from repro.obs import NULL_OBSERVER, BaseObserver
 from repro.sanitize import SanitizerObserver
 from repro.sim.engine import Engine, MemorySystem
+from repro.sim.metrics import SCHEMA_VERSION
 from repro.util.rng import RngStream
 from repro.util.units import GIB, MIB
 from repro.workloads.base import build_spmd_program
@@ -89,6 +90,60 @@ class RunRecord:
     @property
     def max_thread_idle(self) -> float:
         return max(self.thread_idles)
+
+    def to_json(self) -> dict:
+        """Lossless plain-dict form, tagged with ``schema_version``.
+
+        This is the payload the service result store persists; floats
+        survive ``json.dumps``/``loads`` exactly (shortest-repr), so a
+        cache hit reconstructs a bit-identical record.
+        """
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "bench": self.bench,
+            "policy": self.policy,
+            "config": self.config,
+            "rep": self.rep,
+            "runtime": self.runtime,
+            "parallel_runtime": self.parallel_runtime,
+            "serial_runtime": self.serial_runtime,
+            "total_idle": self.total_idle,
+            "thread_runtimes": list(self.thread_runtimes),
+            "thread_idles": list(self.thread_idles),
+            "remote_fraction": self.remote_fraction,
+            "row_hit_rate": self.row_hit_rate,
+            "row_conflicts": self.row_conflicts,
+            "llc_miss_rate": self.llc_miss_rate,
+            "dram_accesses": self.dram_accesses,
+            "faults": self.faults,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "RunRecord":
+        """Inverse of :meth:`to_json`; raises on schema mismatch."""
+        version = data.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise ValueError(
+                f"RunRecord schema_version {version!r} != {SCHEMA_VERSION}"
+            )
+        return cls(
+            bench=data["bench"],
+            policy=data["policy"],
+            config=data["config"],
+            rep=int(data["rep"]),
+            runtime=float(data["runtime"]),
+            parallel_runtime=float(data["parallel_runtime"]),
+            serial_runtime=float(data["serial_runtime"]),
+            total_idle=float(data["total_idle"]),
+            thread_runtimes=tuple(float(x) for x in data["thread_runtimes"]),
+            thread_idles=tuple(float(x) for x in data["thread_idles"]),
+            remote_fraction=float(data["remote_fraction"]),
+            row_hit_rate=float(data["row_hit_rate"]),
+            row_conflicts=int(data["row_conflicts"]),
+            llc_miss_rate=float(data["llc_miss_rate"]),
+            dram_accesses=int(data["dram_accesses"]),
+            faults=int(data["faults"]),
+        )
 
 
 def _sanitized_observer(level: str, inner: BaseObserver) -> BaseObserver:
@@ -234,18 +289,6 @@ class SweepJob:
     sanitize: str = "off"
 
 
-def _run_job(job: SweepJob) -> RunRecord:
-    observer: BaseObserver = Observer() if job.trace_dir else NULL_OBSERVER
-    record = run_benchmark(
-        job.bench, job.policy, job.config, rep=job.rep, seed=job.seed,
-        profile=job.profile, observer=observer, sanitize=job.sanitize,
-    )
-    if job.trace_dir:
-        stem = f"{job.bench}_{job.policy.label}_{job.config}_rep{job.rep}"
-        export_run(observer, job.trace_dir, stem)
-    return record
-
-
 def sweep(
     benches: list[str],
     policies: list[Policy],
@@ -257,18 +300,35 @@ def sweep(
     parallel: bool | None = None,
     trace_dir: str | None = None,
     sanitize: str = "off",
+    cache=None,
 ) -> list[RunRecord]:
     """Run the full cross product; this powers Figs. 11-14 in one pass.
 
-    Fans out over a process pool when the host has multiple CPUs;
-    single-core hosts run sequentially (fork + pickle overhead would only
-    slow them down).  ``trace_dir`` enables per-run tracing: each job
-    records its own :class:`repro.obs.Observer` (created inside the
-    worker, so the pool fan-out still pickles cleanly) and exports one
-    Perfetto/JSONL/CSV bundle into the directory.  ``sanitize`` arms
+    A thin client of :mod:`repro.service`: every run becomes a
+    :class:`~repro.service.JobSpec` submitted to a scheduler, which
+    shards jobs over isolated worker processes when the host has
+    multiple CPUs and retries worker crashes instead of aborting the
+    sweep.  With ``max_workers=1``, ``parallel=False``, or a single
+    job, the scheduler runs jobs inline — a serial fast path that never
+    forks a worker process (fork + pickle overhead would only slow a
+    single-core host down).  Results are returned in job submission
+    order either way, bit-identical between the serial and pooled
+    paths.
+
+    ``cache`` (a path or an open :class:`repro.service.ResultStore`)
+    enables content-addressed result reuse: a job whose digest is
+    already stored returns the persisted record without simulating.
+    ``trace_dir`` enables per-run tracing: each job records its own
+    :class:`repro.obs.Observer` inside the worker and exports one
+    Perfetto/JSONL/CSV bundle into the directory (traced jobs always
+    re-run so the side-effect files are produced).  ``sanitize`` arms
     invariant checking in every worker (levels as in
     :func:`run_benchmark`).
     """
+    # Imported lazily: repro.service sits above the experiments layer
+    # (its workers call back into run_benchmark).
+    from repro.service import JobSpec, ServiceClient
+
     jobs = [
         SweepJob(bench=b, policy=p, config=c, rep=r, profile=profile,
                  seed=seed, trace_dir=trace_dir, sanitize=sanitize)
@@ -280,8 +340,13 @@ def sweep(
     cpus = os.cpu_count() or 1
     if parallel is None:
         parallel = cpus > 1
-    if not parallel or len(jobs) == 1:
-        return [_run_job(j) for j in jobs]
     workers = max_workers or min(len(jobs), cpus)
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(_run_job, jobs, chunksize=1))
+    if not parallel or len(jobs) == 1:
+        workers = 1
+    executor = "inline" if workers == 1 else "process"
+    specs = [JobSpec.from_sweep_job(j) for j in jobs]
+    with ServiceClient(
+        store=cache, shards=workers, executor=executor
+    ) as client:
+        handles = [client.submit(s) for s in specs]
+        return client.gather(handles)

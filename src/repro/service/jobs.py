@@ -1,0 +1,158 @@
+"""Job model: canonical :class:`JobSpec` with a stable content digest.
+
+A *job* is one simulator evaluation — a (machine preset, policy,
+workload, seed) point.  :class:`JobSpec` is the canonical, JSON-native
+description of that point.  Two specs that describe the same evaluation
+produce the same :meth:`JobSpec.digest`, which is what the result store
+keys on and what the scheduler deduplicates in-flight work by.
+
+The digest covers *identity* fields only — everything that changes the
+simulated result, including the machine fingerprint the profile resolves
+to (preset name, installed memory, workload scale) so that a profile
+redefinition cannot silently alias old cache entries.  Execution
+parameters (priority, timeout, retry budget, trace directory) are *not*
+part of identity: the same evaluation at a different priority must hit
+the same cache line.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import json
+from dataclasses import dataclass, fields
+from functools import lru_cache
+
+from repro.experiments.runner import PROFILES, SweepJob
+from repro.sim.metrics import SCHEMA_VERSION
+
+
+class JobStatus(enum.Enum):
+    """Lifecycle state of one submitted job."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def terminal(self) -> bool:
+        """Whether the job can no longer change state."""
+        return self in (
+            JobStatus.COMPLETED, JobStatus.FAILED, JobStatus.CANCELLED
+        )
+
+
+@lru_cache(maxsize=None)
+def _machine_fingerprint(profile: str) -> tuple[str, int, float]:
+    """(preset name, memory bytes, workload scale) a profile resolves to."""
+    factory, memory, scale = PROFILES[profile]
+    machine = factory(memory)
+    return (machine.name, memory, scale)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """Canonical description of one simulator evaluation.
+
+    Identity fields (digested): ``kind``, ``bench``, ``policy``,
+    ``config``, ``rep``, ``profile``, ``seed``, ``sanitize``, plus the
+    machine fingerprint derived from ``profile``.  Execution fields
+    (not digested): ``trace_dir``, ``force_run``, ``priority``,
+    ``timeout_s``, ``max_retries``.
+    """
+
+    kind: str = "bench"  # "bench" | "synthetic"
+    bench: str = "lbm"
+    policy: str = "buddy"  # Policy *value* label, e.g. "mem+llc"
+    config: str = "16_threads_4_nodes"
+    rep: int = 0
+    profile: str = "scaled"
+    seed: int = 0
+    #: invariant-checking level ("off"/"cheap"/"full"); must survive the
+    #: JSON round trip so service workers arm the sanitizer exactly as a
+    #: direct run_benchmark() call would.
+    sanitize: str = "off"
+    # ------------------------------------------------- execution parameters
+    #: when set, the worker exports a Perfetto/JSONL/CSV trace bundle here.
+    trace_dir: str | None = None
+    #: bypass the result-store lookup (used for traced runs, whose value
+    #: is the side-effect files, and for cache-busting reruns).
+    force_run: bool = False
+    #: larger runs earlier within a shard.
+    priority: int = 0
+    #: per-attempt wall-clock budget, seconds (None = no limit).
+    timeout_s: float | None = None
+    #: additional attempts after the first failure/timeout/crash.
+    max_retries: int = 2
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("bench", "synthetic"):
+            raise ValueError(f"unknown job kind {self.kind!r}")
+        if self.profile not in PROFILES:
+            raise ValueError(f"unknown profile {self.profile!r}")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+
+    # ---------------------------------------------------------------- identity
+    def identity(self) -> dict:
+        """The canonical identity document the digest is computed over."""
+        name, memory, scale = _machine_fingerprint(self.profile)
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "kind": self.kind,
+            "bench": self.bench,
+            "policy": self.policy,
+            "config": self.config,
+            "rep": self.rep,
+            "profile": self.profile,
+            "seed": self.seed,
+            "sanitize": self.sanitize,
+            "machine": {"name": name, "memory_bytes": memory, "scale": scale},
+        }
+
+    def digest(self) -> str:
+        """Stable content digest: sha256 over the canonical identity JSON."""
+        doc = json.dumps(self.identity(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(doc.encode()).hexdigest()
+
+    # ------------------------------------------------------------- conversion
+    def to_json(self) -> dict:
+        """Full plain-dict form (identity + execution parameters)."""
+        out = {f.name: getattr(self, f.name) for f in fields(self)}
+        out["schema_version"] = SCHEMA_VERSION
+        return out
+
+    @classmethod
+    def from_json(cls, data: dict) -> "JobSpec":
+        """Inverse of :meth:`to_json`; ignores unknown keys."""
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+    @classmethod
+    def from_sweep_job(cls, job: SweepJob, **overrides) -> "JobSpec":
+        """Derive the canonical spec from an experiments-layer SweepJob.
+
+        Traced sweep jobs become ``force_run`` specs: their value is the
+        exported trace files, so a cache hit would be wrong.
+        """
+        kwargs = dict(
+            kind="bench",
+            bench=job.bench,
+            policy=job.policy.value,
+            config=job.config,
+            rep=job.rep,
+            profile=job.profile,
+            seed=job.seed,
+            sanitize=job.sanitize,
+            trace_dir=job.trace_dir,
+            force_run=job.trace_dir is not None,
+        )
+        kwargs.update(overrides)
+        return cls(**kwargs)
+
+    @property
+    def label(self) -> str:
+        """Human-readable short name (log lines, span names)."""
+        return f"{self.bench}/{self.policy}/{self.config}/rep{self.rep}"

@@ -1,0 +1,564 @@
+"""The job scheduler: priority queues, sharded workers, dedup, retries.
+
+Design (one :class:`Scheduler` instance = one service):
+
+* **Sharding.**  ``shards`` worker threads each own a priority queue;
+  a job lands on shard ``int(digest[:8], 16) % shards``, so identical
+  digests always route to the same shard (dedup stays shard-local and
+  the store sees one writer per digest).  Total concurrency = shards.
+* **Executors.**  ``"process"`` runs every attempt in a fresh child
+  process (fork when available): a worker crash kills only that child,
+  never the pool, and timeouts/cancellation are enforced by terminating
+  it.  ``"inline"`` runs the job in the shard thread — the serial fast
+  path `sweep()` uses for single-worker hosts, and what tests use to
+  inject failures deterministically.
+* **Caching + dedup.**  Submission first consults the content-addressed
+  :class:`~repro.service.store.ResultStore` (hit -> completed handle,
+  no work), then the in-flight table (identical digest already queued
+  or running -> the same handle is returned and the work happens once).
+* **Backpressure.**  The queue is bounded; ``submit`` blocks until
+  space frees (or raises :class:`BackpressureError` with ``block=False``
+  or on timeout), so a fast producer cannot grow memory without bound.
+* **Failure semantics.**  Each attempt may end ok / error / crash /
+  timeout; non-ok outcomes retry with exponential backoff up to
+  ``max_retries``, then the job fails with its full attempt history.
+  Cancellation is honoured queued (immediate) and mid-run (child
+  terminated; inline runs finish their attempt, then cancel).
+
+Counters and per-job spans are exported through ``repro.obs`` when a
+recording observer is supplied; the default NULL_OBSERVER keeps the
+scheduler observability-free at zero cost.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import multiprocessing as mp
+import threading
+import time
+
+from repro.obs import NULL_OBSERVER, BaseObserver
+from repro.service.jobs import JobSpec, JobStatus
+from repro.service.store import ResultStore
+from repro.service.worker import child_main, execute_jobspec
+
+
+class ServiceError(Exception):
+    """Base class for service-layer errors."""
+
+
+class BackpressureError(ServiceError):
+    """The bounded queue is full and the caller declined to wait."""
+
+
+class JobCancelled(ServiceError):
+    """Raised by ``JobHandle.result()`` for a cancelled job."""
+
+
+class JobFailed(ServiceError):
+    """Raised by ``JobHandle.result()`` when all attempts failed.
+
+    ``attempts`` holds the per-attempt outcome dicts (outcome, error,
+    started/ended wall-clock), newest last.
+    """
+
+    def __init__(self, message: str, attempts: list[dict]) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+
+
+class _Job:
+    """Internal mutable job state (lock discipline: scheduler._cv)."""
+
+    __slots__ = (
+        "spec", "digest", "seq", "shard", "status", "attempts", "result",
+        "error", "from_cache", "cancel_requested", "done", "proc",
+    )
+
+    def __init__(self, spec: JobSpec, digest: str, seq: int, shard: int) -> None:
+        self.spec = spec
+        self.digest = digest
+        self.seq = seq
+        self.shard = shard
+        self.status = JobStatus.QUEUED
+        self.attempts: list[dict] = []
+        self.result: dict | None = None
+        self.error: str | None = None
+        self.from_cache = False
+        self.cancel_requested = False
+        self.done = threading.Event()
+        self.proc = None  # live child process while a process attempt runs
+
+
+class JobHandle:
+    """Caller-facing view of one submitted job (future-like)."""
+
+    def __init__(self, job: _Job, scheduler: "Scheduler") -> None:
+        self._job = job
+        self._scheduler = scheduler
+
+    @property
+    def digest(self) -> str:
+        """The job's content digest (the cache key)."""
+        return self._job.digest
+
+    @property
+    def spec(self) -> JobSpec:
+        """The spec this handle was submitted with."""
+        return self._job.spec
+
+    @property
+    def status(self) -> JobStatus:
+        """Current lifecycle state."""
+        return self._job.status
+
+    @property
+    def from_cache(self) -> bool:
+        """Whether the result came from the store without running."""
+        return self._job.from_cache
+
+    @property
+    def attempts(self) -> list[dict]:
+        """Per-attempt outcome history (copies are cheap; don't mutate)."""
+        return list(self._job.attempts)
+
+    def done(self) -> bool:
+        """Whether the job reached a terminal state."""
+        return self._job.done.is_set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the job is terminal; True if it finished in time."""
+        return self._job.done.wait(timeout)
+
+    def result(self, timeout: float | None = None) -> dict:
+        """The record-JSON result; raises on failure/cancel/timeout."""
+        if not self._job.done.wait(timeout):
+            raise TimeoutError(
+                f"job {self._job.spec.label} not done after {timeout}s"
+            )
+        if self._job.status is JobStatus.COMPLETED:
+            assert self._job.result is not None
+            return self._job.result
+        if self._job.status is JobStatus.CANCELLED:
+            raise JobCancelled(f"job {self._job.spec.label} was cancelled")
+        raise JobFailed(
+            f"job {self._job.spec.label} failed: {self._job.error}",
+            list(self._job.attempts),
+        )
+
+    def cancel(self) -> bool:
+        """Request cancellation; True unless the job is already terminal.
+
+        Queued jobs cancel immediately; a running process-executor
+        attempt has its child terminated, and an inline attempt is
+        cancelled at its next boundary.
+        """
+        return self._scheduler._cancel(self._job)
+
+
+class Scheduler:
+    """Sharded job scheduler with caching, retries, and backpressure.
+
+    Args:
+        store: result store for content-addressed reuse (None disables
+            caching entirely — every submit runs).
+        shards: worker threads / maximum concurrent jobs.
+        executor: ``"process"`` (isolated child per attempt) or
+            ``"inline"`` (run in the shard thread).
+        runner: callable ``(JobSpec) -> dict`` executed per attempt;
+            defaults to the real simulator worker.  Tests substitute
+            fault-injecting runners here.
+        queue_capacity: bound on queued-but-not-running jobs across all
+            shards (backpressure threshold).
+        backoff_base_s / backoff_max_s: retry delay is
+            ``min(base * 2**attempt, max)``.
+        poll_interval_s: child-process supervision cadence (timeout and
+            cancellation latency).
+        observer: ``repro.obs`` observer for counters and per-job spans.
+        mp_context: multiprocessing start-method name; defaults to
+            "fork" where available (fast) else "spawn".
+    """
+
+    def __init__(
+        self,
+        store: ResultStore | None = None,
+        shards: int = 1,
+        executor: str = "process",
+        runner=execute_jobspec,
+        queue_capacity: int = 1024,
+        backoff_base_s: float = 0.05,
+        backoff_max_s: float = 2.0,
+        poll_interval_s: float = 0.02,
+        observer: BaseObserver = NULL_OBSERVER,
+        mp_context: str | None = None,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if executor not in ("process", "inline"):
+            raise ValueError(f"unknown executor {executor!r}")
+        if queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+        self.store = store
+        self.shards = shards
+        self.executor = executor
+        self.runner = runner
+        self.queue_capacity = queue_capacity
+        self.backoff_base_s = backoff_base_s
+        self.backoff_max_s = backoff_max_s
+        self.poll_interval_s = poll_interval_s
+        self.obs = observer
+        if mp_context is None:
+            mp_context = (
+                "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+            )
+        self._mp = mp.get_context(mp_context)
+
+        self._cv = threading.Condition()
+        self._queues: list[list] = [[] for _ in range(shards)]
+        self._inflight: dict[str, _Job] = {}
+        self._queued = 0
+        self._running = 0
+        self._seq = itertools.count()
+        self._shutdown = False
+        self._t0 = time.monotonic()
+
+        # Counters (read under _cv or via stats()).
+        self.counters = {
+            "submitted": 0, "cache_hits": 0, "cache_misses": 0,
+            "dedup_hits": 0, "completed": 0, "failed": 0, "cancelled": 0,
+            "retries": 0, "timeouts": 0, "crashes": 0, "errors": 0,
+        }
+        self._register_obs_counters()
+
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop, args=(i,),
+                name=f"repro-service-shard-{i}", daemon=True,
+            )
+            for i in range(shards)
+        ]
+        for t in self._threads:
+            t.start()
+
+    # ------------------------------------------------------------------ obs
+    def _register_obs_counters(self) -> None:
+        if not self.obs.enabled:
+            return
+        for name in self.counters:
+            self.obs.register_counter(
+                f"service.{name}",
+                lambda now, key=name: float(self.counters[key]),
+            )
+        self.obs.register_counter(
+            "service.queue_depth", lambda now: float(self._queued)
+        )
+        self.obs.register_counter(
+            "service.running", lambda now: float(self._running)
+        )
+        if self.store is not None:
+            self.obs.register_counter(
+                "service.store.hits", lambda now: float(self.store.hits)
+            )
+            self.obs.register_counter(
+                "service.store.misses", lambda now: float(self.store.misses)
+            )
+            self.obs.register_counter(
+                "service.store.entries", lambda now: float(len(self.store))
+            )
+
+    def _now_ns(self) -> float:
+        """Wall-clock ns since scheduler start (span timestamps)."""
+        return (time.monotonic() - self._t0) * 1e9
+
+    # --------------------------------------------------------------- submit
+    def submit(
+        self,
+        spec: JobSpec,
+        block: bool = True,
+        timeout: float | None = None,
+    ) -> JobHandle:
+        """Submit one job; returns immediately with a handle.
+
+        Resolution order: result-store hit -> completed handle;
+        identical digest already in flight -> that job's handle
+        (``force_run`` specs skip both).  Otherwise the job queues on
+        its digest's shard, waiting for queue space per ``block``/
+        ``timeout`` (:class:`BackpressureError` when exhausted).
+        """
+        digest = spec.digest()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cv:
+            if self._shutdown:
+                raise ServiceError("scheduler is shut down")
+            self.counters["submitted"] += 1
+            if not spec.force_run:
+                if self.store is not None:
+                    cached = self.store.get(digest)
+                    if cached is not None:
+                        self.counters["cache_hits"] += 1
+                        job = _Job(spec, digest, next(self._seq), shard=-1)
+                        job.status = JobStatus.COMPLETED
+                        job.result = cached
+                        job.from_cache = True
+                        job.done.set()
+                        return JobHandle(job, self)
+                    self.counters["cache_misses"] += 1
+                existing = self._inflight.get(digest)
+                if existing is not None:
+                    self.counters["dedup_hits"] += 1
+                    return JobHandle(existing, self)
+            while self._queued >= self.queue_capacity:
+                if not block:
+                    raise BackpressureError(
+                        f"queue full ({self.queue_capacity} jobs)"
+                    )
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    raise BackpressureError(
+                        f"queue still full after {timeout}s"
+                    )
+                self._cv.wait(remaining if remaining is not None
+                              else self.poll_interval_s * 10)
+                if self._shutdown:
+                    raise ServiceError("scheduler is shut down")
+            shard = int(digest[:8], 16) % self.shards
+            job = _Job(spec, digest, next(self._seq), shard)
+            heapq.heappush(self._queues[shard], (-spec.priority, job.seq, job))
+            self._queued += 1
+            if not spec.force_run:
+                self._inflight[digest] = job
+            self._cv.notify_all()
+        return JobHandle(job, self)
+
+    # --------------------------------------------------------------- cancel
+    def _cancel(self, job: _Job) -> bool:
+        with self._cv:
+            if job.status.terminal:
+                return False
+            job.cancel_requested = True
+            if job.status is JobStatus.QUEUED:
+                # Finalize now; the worker drops it at dequeue time.
+                self._queued -= 1
+                self._finalize_locked(job, JobStatus.CANCELLED)
+                return True
+            proc = job.proc
+        if proc is not None:
+            proc.terminate()  # worker loop reaps and books the cancel
+        return True
+
+    # ---------------------------------------------------------- worker loop
+    def _worker_loop(self, shard: int) -> None:
+        queue = self._queues[shard]
+        while True:
+            with self._cv:
+                while not queue and not self._shutdown:
+                    self._cv.wait()
+                if self._shutdown and not queue:
+                    return
+                _, _, job = heapq.heappop(queue)
+                if job.status.terminal:  # cancelled while queued
+                    continue
+                job.status = JobStatus.RUNNING
+                self._queued -= 1
+                self._running += 1
+                self._cv.notify_all()
+            try:
+                self._run_with_retries(job, shard)
+            finally:
+                with self._cv:
+                    self._running -= 1
+                    self._cv.notify_all()
+
+    def _run_with_retries(self, job: _Job, shard: int) -> None:
+        spec = job.spec
+        for attempt in range(spec.max_retries + 1):
+            if job.cancel_requested:
+                self._finalize(job, JobStatus.CANCELLED)
+                return
+            begin_ns = self._now_ns()
+            started = time.time()
+            outcome = self._execute_attempt(job, attempt)
+            record = {
+                "attempt": attempt,
+                "outcome": outcome[0],
+                "error": outcome[1] if len(outcome) > 1 else None,
+                "started": started,
+                "ended": time.time(),
+            }
+            job.attempts.append(record)
+            if self.obs.enabled:
+                self.obs.span(
+                    f"job:{spec.label}", begin_ns, self._now_ns(),
+                    track="service", tid=shard,
+                    args={"digest": job.digest[:12], "attempt": attempt,
+                          "outcome": outcome[0]},
+                )
+            kind = outcome[0]
+            if kind == "ok":
+                result = outcome[1]
+                if self.store is not None:
+                    self.store.put(job.digest, spec.to_json(), result)
+                job.result = result
+                self._finalize(job, JobStatus.COMPLETED)
+                return
+            if kind == "cancelled" or job.cancel_requested:
+                self._finalize(job, JobStatus.CANCELLED)
+                return
+            with self._cv:
+                if kind == "timeout":
+                    self.counters["timeouts"] += 1
+                elif kind == "crash":
+                    self.counters["crashes"] += 1
+                else:
+                    self.counters["errors"] += 1
+            job.error = record["error"]
+            if attempt < spec.max_retries:
+                with self._cv:
+                    self.counters["retries"] += 1
+                if self.obs.enabled:
+                    self.obs.instant(
+                        f"retry:{spec.label}", self._now_ns(),
+                        track="service", tid=shard,
+                        args={"attempt": attempt, "reason": kind},
+                    )
+                backoff = min(
+                    self.backoff_base_s * (2 ** attempt), self.backoff_max_s
+                )
+                # Sleep in poll-sized slices so cancellation stays prompt.
+                deadline = time.monotonic() + backoff
+                while time.monotonic() < deadline:
+                    if job.cancel_requested:
+                        self._finalize(job, JobStatus.CANCELLED)
+                        return
+                    time.sleep(
+                        min(self.poll_interval_s,
+                            max(0.0, deadline - time.monotonic()))
+                    )
+        self._finalize(job, JobStatus.FAILED)
+
+    def _execute_attempt(self, job: _Job, attempt: int) -> tuple:
+        """One attempt: ("ok", result) | ("err"|"crash"|"timeout", msg) |
+        ("cancelled", msg)."""
+        if self.executor == "inline":
+            try:
+                return ("ok", self.runner(job.spec))
+            except Exception as exc:  # noqa: BLE001 - booked as attempt outcome
+                return ("err", f"{type(exc).__name__}: {exc}")
+        return self._execute_in_process(job)
+
+    def _execute_in_process(self, job: _Job) -> tuple:
+        recv, send = self._mp.Pipe(duplex=False)
+        proc = self._mp.Process(
+            target=child_main, args=(send, self.runner, job.spec), daemon=True
+        )
+        proc.start()
+        send.close()
+        job.proc = proc
+        spec = job.spec
+        deadline = (
+            None if spec.timeout_s is None
+            else time.monotonic() + spec.timeout_s
+        )
+        try:
+            while True:
+                if recv.poll(self.poll_interval_s):
+                    try:
+                        msg = recv.recv()
+                    except EOFError:
+                        proc.join()
+                        return ("crash",
+                                f"worker exited with code {proc.exitcode} "
+                                "before reporting a result")
+                    proc.join()
+                    if msg[0] == "ok":
+                        return ("ok", msg[1])
+                    return ("err", msg[1])
+                if job.cancel_requested:
+                    proc.terminate()
+                    proc.join()
+                    return ("cancelled", "terminated on cancel request")
+                if deadline is not None and time.monotonic() >= deadline:
+                    proc.terminate()
+                    proc.join()
+                    return ("timeout",
+                            f"attempt exceeded {spec.timeout_s}s")
+                if not proc.is_alive() and not recv.poll():
+                    proc.join()
+                    return ("crash",
+                            f"worker exited with code {proc.exitcode} "
+                            "before reporting a result")
+        finally:
+            job.proc = None
+            recv.close()
+
+    def _finalize(self, job: _Job, status: JobStatus) -> None:
+        with self._cv:
+            self._finalize_locked(job, status)
+
+    def _finalize_locked(self, job: _Job, status: JobStatus) -> None:
+        job.status = status
+        if self._inflight.get(job.digest) is job:
+            del self._inflight[job.digest]
+        key = {
+            JobStatus.COMPLETED: "completed",
+            JobStatus.FAILED: "failed",
+            JobStatus.CANCELLED: "cancelled",
+        }[status]
+        self.counters[key] += 1
+        job.done.set()
+        self._cv.notify_all()
+
+    # ---------------------------------------------------------------- admin
+    def drain(self, timeout: float | None = None) -> bool:
+        """Block until no job is queued or running; True if drained."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cv:
+            while self._queued > 0 or self._running > 0:
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._cv.wait(remaining if remaining is not None else 1.0)
+            return True
+
+    def stats(self) -> dict:
+        """Snapshot of counters plus queue/running depth and store stats."""
+        with self._cv:
+            out = dict(self.counters)
+            out["queue_depth"] = self._queued
+            out["running"] = self._running
+            out["shards"] = self.shards
+            out["executor"] = self.executor
+        if self.store is not None:
+            out["store"] = self.store.stats()
+        return out
+
+    def shutdown(self, wait: bool = True, cancel_pending: bool = False) -> None:
+        """Stop accepting work and stop shard threads.
+
+        With ``cancel_pending`` queued jobs are cancelled; otherwise
+        shard threads finish the queue first (when ``wait``).
+        """
+        with self._cv:
+            self._shutdown = True
+            if cancel_pending:
+                for queue in self._queues:
+                    for _, _, job in queue:
+                        if not job.status.terminal:
+                            self._queued -= 1
+                            self._finalize_locked(job, JobStatus.CANCELLED)
+                    queue.clear()
+            self._cv.notify_all()
+        if wait:
+            for t in self._threads:
+                t.join(timeout=30.0)
+
+    def __enter__(self) -> "Scheduler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown(wait=True)

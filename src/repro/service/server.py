@@ -1,0 +1,190 @@
+"""Line-JSON TCP front-end over a :class:`ServiceClient`.
+
+Protocol: one JSON object per line in each direction.  Requests carry
+an ``op`` plus op-specific fields; responses always carry ``ok`` and
+either the payload or an ``error`` string.
+
+=========  =======================================  =====================
+op         request fields                           response payload
+=========  =======================================  =====================
+ping       —                                        ``{"pong": true}``
+submit     ``spec`` (JobSpec JSON), ``wait`` bool   digest, status[, record]
+wait       ``digest``, optional ``timeout``         digest, status, record
+status     —                                        scheduler/store stats
+drain      optional ``timeout``                     drained bool + stats
+shutdown   —                                        ``{"stopping": true}``
+=========  =======================================  =====================
+
+Blocking scheduler calls run in worker threads (``asyncio.to_thread``),
+so one slow job never stalls the event loop or other connections.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+
+from repro.service.client import ServiceClient
+from repro.service.jobs import JobSpec
+from repro.service.scheduler import JobHandle, ServiceError
+
+
+class ServiceServer:
+    """Asyncio TCP server exposing a ServiceClient on a socket.
+
+    Args:
+        client: the service to expose (owned by the caller).
+        host/port: bind address; port 0 picks a free port (read
+            ``server.port`` after :meth:`start`).
+    """
+
+    def __init__(
+        self, client: ServiceClient, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.client = client
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+        self._handles: dict[str, JobHandle] = {}
+        self._stop = asyncio.Event()
+
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        self._server = await asyncio.start_server(
+            self._handle_conn, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        """Run until a ``shutdown`` op arrives (or the task is cancelled)."""
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._stop.wait()
+
+    async def stop(self) -> None:
+        """Stop accepting connections and wake :meth:`serve_forever`."""
+        self._stop.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    # ------------------------------------------------------------ connection
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    request = json.loads(line)
+                    response = await self._dispatch(request)
+                except ServiceError as exc:
+                    response = {"ok": False, "error": str(exc)}
+                except (json.JSONDecodeError, KeyError, TypeError,
+                        ValueError) as exc:
+                    response = {
+                        "ok": False,
+                        "error": f"{type(exc).__name__}: {exc}",
+                    }
+                writer.write((json.dumps(response) + "\n").encode())
+                await writer.drain()
+                if request_is_shutdown(response):
+                    break
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(self, request: dict) -> dict:
+        op = request.get("op")
+        if op == "ping":
+            return {"ok": True, "pong": True}
+        if op == "submit":
+            spec = JobSpec.from_json(request["spec"])
+            handle = self.client.submit(spec)
+            self._handles[handle.digest] = handle
+            out = {
+                "ok": True,
+                "digest": handle.digest,
+                "status": handle.status.value,
+                "from_cache": handle.from_cache,
+            }
+            if request.get("wait"):
+                return await self._await_handle(
+                    handle, request.get("timeout")
+                )
+            return out
+        if op == "wait":
+            handle = self._handles.get(request["digest"])
+            if handle is None:
+                return {
+                    "ok": False,
+                    "error": f"unknown digest {request['digest']!r}",
+                }
+            return await self._await_handle(handle, request.get("timeout"))
+        if op == "status":
+            return {"ok": True, "stats": self.client.stats()}
+        if op == "drain":
+            drained = await asyncio.to_thread(
+                self.client.drain, request.get("timeout")
+            )
+            return {"ok": True, "drained": drained,
+                    "stats": self.client.stats()}
+        if op == "shutdown":
+            self._stop.set()
+            return {"ok": True, "stopping": True}
+        return {"ok": False, "error": f"unknown op {op!r}"}
+
+    async def _await_handle(
+        self, handle: JobHandle, timeout: float | None
+    ) -> dict:
+        try:
+            record = await asyncio.to_thread(handle.result, timeout)
+        except ServiceError as exc:
+            return {
+                "ok": False,
+                "digest": handle.digest,
+                "status": handle.status.value,
+                "error": str(exc),
+            }
+        except TimeoutError as exc:
+            return {
+                "ok": False,
+                "digest": handle.digest,
+                "status": handle.status.value,
+                "error": str(exc),
+            }
+        return {
+            "ok": True,
+            "digest": handle.digest,
+            "status": handle.status.value,
+            "from_cache": handle.from_cache,
+            "record": record,
+        }
+
+
+def request_is_shutdown(response: dict) -> bool:
+    """Whether a response ends the connection (shutdown acknowledged)."""
+    return bool(response.get("stopping"))
+
+
+def request_sync(host: str, port: int, payload: dict, timeout: float = 30.0) -> dict:
+    """One synchronous request/response round trip (CLI helper).
+
+    Opens a fresh connection, sends one line, reads one line back.
+    """
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.sendall((json.dumps(payload) + "\n").encode())
+        buf = b""
+        while not buf.endswith(b"\n"):
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            buf += chunk
+    return json.loads(buf)

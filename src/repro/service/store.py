@@ -1,0 +1,198 @@
+"""Content-addressed result stores for the simulation-job service.
+
+A store maps a :meth:`JobSpec.digest` to the serialized
+:class:`~repro.experiments.runner.RunRecord` that evaluation produced
+(plus the spec that produced it, for auditability).  Three backends
+share one interface:
+
+* :class:`MemoryStore` — dict-backed, per-process; the default when the
+  service runs without persistence.
+* :class:`JsonlStore` — append-only JSONL file; human-greppable,
+  crash-safe (a torn final line is ignored on load), last write wins.
+* :class:`SqliteStore` — stdlib ``sqlite3``; constant-memory lookups
+  for large result sets, safe for concurrent readers.
+
+Entries are versioned: every payload carries the serialization
+``schema_version``, and :meth:`ResultStore.get` treats a version
+mismatch as a miss (never deserializes a stale layout wrongly).  Stores
+count ``hits``/``misses``/``puts``; the scheduler exports these through
+``repro.obs`` counters.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import threading
+import time
+
+from repro.sim.metrics import SCHEMA_VERSION
+
+
+class ResultStore:
+    """Base class: thread-safe digest -> entry mapping with counters.
+
+    Subclasses implement ``_load`` (optional) and ``_persist``; the base
+    keeps an in-memory index so ``get`` never blocks on I/O.  An *entry*
+    is ``{"digest", "schema_version", "spec", "record", "created_at"}``.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: dict[str, dict] = {}
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+
+    # ----------------------------------------------------------------- access
+    def get(self, digest: str) -> dict | None:
+        """The stored record payload for ``digest``, or None on miss.
+
+        A schema-version mismatch counts as a miss: the entry stays on
+        disk (an older build may still want it) but is never returned.
+        """
+        with self._lock:
+            entry = self._entries.get(digest)
+            if entry is None or entry.get("schema_version") != SCHEMA_VERSION:
+                self.misses += 1
+                return None
+            self.hits += 1
+            return entry["record"]
+
+    def put(self, digest: str, spec: dict, record: dict) -> None:
+        """Store ``record`` (a ``RunRecord.to_json()`` dict) under ``digest``."""
+        entry = {
+            "digest": digest,
+            "schema_version": SCHEMA_VERSION,
+            "spec": spec,
+            "record": record,
+            "created_at": time.time(),
+        }
+        with self._lock:
+            self._entries[digest] = entry
+            self._persist(entry)
+            self.puts += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, digest: str) -> bool:
+        with self._lock:
+            return digest in self._entries
+
+    def digests(self) -> list[str]:
+        """All stored digests (stable snapshot)."""
+        with self._lock:
+            return list(self._entries)
+
+    def stats(self) -> dict[str, int]:
+        """Counter snapshot: entries / hits / misses / puts."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "puts": self.puts,
+            }
+
+    def close(self) -> None:
+        """Release backend resources (no-op for memory/JSONL)."""
+
+    # ---------------------------------------------------------------- backend
+    def _persist(self, entry: dict) -> None:
+        """Write one entry to the backing medium (called under the lock)."""
+
+
+class MemoryStore(ResultStore):
+    """Purely in-memory store (lives and dies with the process)."""
+
+
+class JsonlStore(ResultStore):
+    """Append-only JSONL-backed store.
+
+    Each ``put`` appends one line and flushes; loading replays the file
+    with last-write-wins semantics and skips torn/corrupt lines, so a
+    crash mid-append costs at most the interrupted entry.
+    """
+
+    def __init__(self, path: str) -> None:
+        super().__init__()
+        self.path = path
+        os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+        if os.path.exists(path):
+            with open(path, encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        entry = json.loads(line)
+                        self._entries[entry["digest"]] = entry
+                    except (json.JSONDecodeError, KeyError, TypeError):
+                        continue  # torn tail line from a crashed writer
+        self._fh = open(path, "a", encoding="utf-8")
+
+    def _persist(self, entry: dict) -> None:
+        self._fh.write(json.dumps(entry, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        """Close the append handle (the in-memory index stays usable)."""
+        self._fh.close()
+
+
+class SqliteStore(ResultStore):
+    """SQLite-backed store (stdlib ``sqlite3``, one table, upserts)."""
+
+    def __init__(self, path: str) -> None:
+        super().__init__()
+        self.path = path
+        if os.path.dirname(os.path.abspath(path)):
+            os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+        self._db = sqlite3.connect(path, check_same_thread=False)
+        self._db.execute(
+            "CREATE TABLE IF NOT EXISTS results ("
+            "  digest TEXT PRIMARY KEY,"
+            "  schema_version INTEGER NOT NULL,"
+            "  payload TEXT NOT NULL)"
+        )
+        self._db.commit()
+        for digest, payload in self._db.execute(
+            "SELECT digest, payload FROM results"
+        ):
+            try:
+                self._entries[digest] = json.loads(payload)
+            except json.JSONDecodeError:
+                continue
+
+    def _persist(self, entry: dict) -> None:
+        self._db.execute(
+            "INSERT INTO results (digest, schema_version, payload) "
+            "VALUES (?, ?, ?) ON CONFLICT(digest) DO UPDATE SET "
+            "schema_version = excluded.schema_version, "
+            "payload = excluded.payload",
+            (entry["digest"], entry["schema_version"], json.dumps(entry)),
+        )
+        self._db.commit()
+
+    def close(self) -> None:
+        """Close the SQLite connection."""
+        self._db.close()
+
+
+def open_store(target: "str | ResultStore | None") -> ResultStore:
+    """Open a store from a path or pass an existing one through.
+
+    ``None`` / ``":memory:"`` -> :class:`MemoryStore`; paths ending in
+    ``.sqlite``/``.db`` -> :class:`SqliteStore`; anything else ->
+    :class:`JsonlStore`.
+    """
+    if target is None or target == ":memory:":
+        return MemoryStore()
+    if isinstance(target, ResultStore):
+        return target
+    if target.endswith((".sqlite", ".db", ".sqlite3")):
+        return SqliteStore(target)
+    return JsonlStore(target)

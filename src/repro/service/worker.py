@@ -1,0 +1,65 @@
+"""Worker entry points: execute one JobSpec in this or a child process.
+
+:func:`execute_jobspec` is the default runner the scheduler invokes —
+it rebuilds the full simulated machine from the spec's seeds (exactly
+as :func:`repro.experiments.runner.run_benchmark` would) and returns the
+``RunRecord.to_json()`` dict, which is the one canonical result shape
+on every path (inline, child process, cache hit).
+
+:func:`child_main` is the ``multiprocessing.Process`` target for the
+isolated executor: it ships the outcome back over a pipe and lets any
+crash (``os._exit``, segfault, OOM kill) surface as a silent pipe EOF
+the scheduler converts into a retryable *crash* outcome.
+"""
+
+from __future__ import annotations
+
+import traceback
+
+from repro.alloc.policies import Policy
+from repro.experiments.runner import run_benchmark, run_synthetic
+from repro.obs import NULL_OBSERVER, BaseObserver, Observer, export_run
+from repro.service.jobs import JobSpec
+
+
+def execute_jobspec(spec: JobSpec) -> dict:
+    """Run one evaluation described by ``spec``; returns record JSON.
+
+    The ``sanitize`` level rides the spec through whatever transport
+    delivered it (pickle to a child process, JSON over TCP) and is
+    handed to the run functions unchanged, so service workers arm the
+    sanitizer exactly like direct calls do.
+    """
+    policy = Policy(spec.policy)
+    observer: BaseObserver = Observer() if spec.trace_dir else NULL_OBSERVER
+    if spec.kind == "synthetic":
+        record = run_synthetic(
+            policy, spec.config, rep=spec.rep, profile=spec.profile,
+            observer=observer, sanitize=spec.sanitize,
+        )
+    else:
+        record = run_benchmark(
+            spec.bench, policy, spec.config, rep=spec.rep, seed=spec.seed,
+            profile=spec.profile, observer=observer, sanitize=spec.sanitize,
+        )
+    if spec.trace_dir:
+        stem = f"{record.bench}_{record.policy}_{spec.config}_rep{spec.rep}"
+        export_run(observer, spec.trace_dir, stem)
+    return record.to_json()
+
+
+def child_main(conn, runner, spec: JobSpec) -> None:
+    """Child-process body: run ``runner(spec)``, send the outcome, exit.
+
+    Sends ``("ok", result)`` or ``("err", "Type: msg", traceback)``.
+    If the child dies before sending anything the parent sees EOF and
+    books a crash.
+    """
+    try:
+        result = runner(spec)
+        conn.send(("ok", result))
+    except BaseException as exc:  # noqa: BLE001 - must report, not die silent
+        conn.send(("err", f"{type(exc).__name__}: {exc}",
+                   traceback.format_exc()))
+    finally:
+        conn.close()

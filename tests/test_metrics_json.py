@@ -1,0 +1,96 @@
+"""Serialization round trips for RunMetrics and RunRecord (satellite).
+
+The service result store persists these as JSON; a cache hit must
+reconstruct *bit-identical* objects, so every round trip here asserts
+full equality after a real ``json.dumps``/``loads`` wire trip, not just
+field spot checks.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.alloc.policies import Policy
+from repro.core.session import ColoredTeam
+from repro.core.tintmalloc import TintMalloc
+from repro.experiments.runner import RunRecord, run_benchmark
+from repro.kernel.kernel import Kernel
+from repro.machine.presets import tiny_machine
+from repro.sim.barrier import Program, Section
+from repro.sim.engine import Engine, MemorySystem
+from repro.sim.metrics import SCHEMA_VERSION, RunMetrics
+from repro.sim.trace import Trace
+from repro.util.units import KIB, MIB
+
+
+def _real_metrics() -> RunMetrics:
+    """Metrics from an actual engine run (all sub-objects populated)."""
+    machine = tiny_machine(8 * MIB)
+    kernel = Kernel(machine, aged=True, age_seed=1)
+    tm = TintMalloc(kernel=kernel)
+    team = ColoredTeam.create(tm, [0, 1], Policy.MEM_LLC)
+    memory = MemorySystem.for_machine(machine)
+    engine = Engine(team, memory)
+    traces = {}
+    for tid in range(2):
+        va = team.handles[tid].malloc(32 * KIB, label=f"buf{tid}")
+        n = 2048
+        vaddrs = va + (np.arange(n, dtype=np.int64) % 512) * 64
+        traces[tid] = Trace(vaddrs=vaddrs, writes=np.ones(n, dtype=bool),
+                            think_ns=1.0, label=f"t{tid}")
+    program = Program(
+        sections=[Section(kind="parallel", traces=traces, label="work")],
+        nthreads=2, name="roundtrip",
+    )
+    return engine.run(program)
+
+
+class TestRunMetricsRoundTrip:
+    def test_round_trip_is_lossless(self):
+        metrics = _real_metrics()
+        wire = json.dumps(metrics.to_json())
+        back = RunMetrics.from_json(json.loads(wire))
+        assert back == metrics
+        # Derived rollups agree too (they read the restored fields).
+        assert back.summary() == metrics.summary()
+
+    def test_nested_objects_restored_with_types(self):
+        metrics = _real_metrics()
+        back = RunMetrics.from_json(json.loads(json.dumps(metrics.to_json())))
+        assert back.dram is not None
+        assert back.dram.per_node_accesses == metrics.dram.per_node_accesses
+        assert all(isinstance(k, int) for k in back.dram.per_node_accesses)
+        assert set(back.cache) == set(metrics.cache)
+        assert back.sections[0].label == "work"
+
+    def test_schema_version_tagged_and_enforced(self):
+        metrics = _real_metrics()
+        data = metrics.to_json()
+        assert data["schema_version"] == SCHEMA_VERSION
+        data["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema_version"):
+            RunMetrics.from_json(data)
+
+
+class TestRunRecordRoundTrip:
+    def test_round_trip_is_bit_identical(self):
+        record = run_benchmark("lbm", Policy.MEM_LLC, "4_threads_4_nodes",
+                               rep=0, seed=3, profile="mini")
+        wire = json.dumps(record.to_json())
+        back = RunRecord.from_json(json.loads(wire))
+        # Frozen dataclass equality: exact, field-for-field.
+        assert back == record
+        assert isinstance(back.thread_runtimes, tuple)
+        assert isinstance(back.thread_idles, tuple)
+
+    def test_schema_version_tagged_and_enforced(self):
+        record = run_benchmark("lbm", Policy.BUDDY, "4_threads_4_nodes",
+                               rep=0, seed=3, profile="mini")
+        data = record.to_json()
+        assert data["schema_version"] == SCHEMA_VERSION
+        data["schema_version"] = None
+        with pytest.raises(ValueError, match="schema_version"):
+            RunRecord.from_json(data)

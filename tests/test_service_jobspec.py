@@ -1,0 +1,115 @@
+"""JobSpec identity: digest stability, round trips, sanitize survival."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.alloc.policies import Policy
+from repro.experiments.runner import SweepJob
+from repro.service import JobSpec
+
+
+class TestDigest:
+    def test_digest_is_stable_and_deterministic(self):
+        a = JobSpec(bench="lbm", policy="mem+llc", seed=3)
+        b = JobSpec(bench="lbm", policy="mem+llc", seed=3)
+        assert a.digest() == b.digest()
+        assert len(a.digest()) == 64  # sha256 hex
+
+    @pytest.mark.parametrize("change", [
+        {"bench": "freqmine"},
+        {"policy": "buddy"},
+        {"config": "4_threads_4_nodes"},
+        {"rep": 1},
+        {"profile": "mini"},
+        {"seed": 4},
+        {"sanitize": "full"},
+        {"kind": "synthetic"},
+    ])
+    def test_identity_fields_change_digest(self, change):
+        base = JobSpec(bench="lbm", policy="mem+llc", seed=3,
+                       config="16_threads_4_nodes", profile="scaled")
+        changed = JobSpec.from_json({**base.to_json(), **change})
+        assert changed.digest() != base.digest()
+
+    @pytest.mark.parametrize("change", [
+        {"priority": 9},
+        {"timeout_s": 1.5},
+        {"max_retries": 7},
+        {"trace_dir": "/tmp/traces"},
+        {"force_run": True},
+    ])
+    def test_execution_fields_do_not_change_digest(self, change):
+        base = JobSpec(bench="lbm", policy="mem+llc", seed=3)
+        changed = JobSpec.from_json({**base.to_json(), **change})
+        assert changed.digest() == base.digest()
+
+    def test_digest_covers_machine_fingerprint(self):
+        """Profiles resolving to different machines digest differently
+        even with every explicit field equal."""
+        scaled = JobSpec(profile="scaled")
+        mini = JobSpec(profile="mini")
+        assert scaled.identity()["machine"] != mini.identity()["machine"]
+        assert scaled.digest() != mini.digest()
+
+
+class TestRoundTrip:
+    def test_json_round_trip_through_wire_format(self):
+        spec = JobSpec(bench="streamcluster", policy="llc+mem(part)",
+                       config="8_threads_2_nodes", rep=2, profile="mini",
+                       seed=11, sanitize="full", trace_dir="/tmp/t",
+                       force_run=True, priority=3, timeout_s=2.5,
+                       max_retries=5)
+        wire = json.dumps(spec.to_json())
+        back = JobSpec.from_json(json.loads(wire))
+        assert back == spec
+        assert back.digest() == spec.digest()
+
+    def test_sanitize_level_survives_round_trip(self):
+        """Satellite: --sanitize must survive the job-spec round trip so
+        service workers arm the sanitizer like direct calls do."""
+        for level in ("off", "cheap", "full"):
+            spec = JobSpec(sanitize=level)
+            assert JobSpec.from_json(spec.to_json()).sanitize == level
+
+    def test_from_json_ignores_unknown_keys(self):
+        data = JobSpec().to_json()
+        data["added_in_a_future_version"] = 42
+        assert JobSpec.from_json(data) == JobSpec()
+
+    def test_from_sweep_job(self):
+        job = SweepJob(bench="lbm", policy=Policy.MEM_LLC,
+                       config="4_threads_4_nodes", rep=1, profile="mini",
+                       seed=9, sanitize="cheap")
+        spec = JobSpec.from_sweep_job(job)
+        assert spec.bench == "lbm"
+        assert spec.policy == "mem+llc"
+        assert Policy(spec.policy) is Policy.MEM_LLC
+        assert (spec.config, spec.rep, spec.profile, spec.seed) == \
+            ("4_threads_4_nodes", 1, "mini", 9)
+        assert spec.sanitize == "cheap"
+        assert not spec.force_run
+
+    def test_traced_sweep_job_forces_run(self):
+        job = SweepJob(bench="lbm", policy=Policy.BUDDY,
+                       config="4_threads_4_nodes", rep=0,
+                       trace_dir="/tmp/traces")
+        spec = JobSpec.from_sweep_job(job)
+        assert spec.force_run
+        assert spec.trace_dir == "/tmp/traces"
+
+
+class TestValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            JobSpec(kind="nonsense")
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError):
+            JobSpec(profile="warp-speed")
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError):
+            JobSpec(max_retries=-1)

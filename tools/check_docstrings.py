@@ -31,7 +31,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 SRC = REPO_ROOT / "src"
 
 #: Packages whose public surface must be documented.
-PACKAGES = ("repro.core", "repro.sim", "repro.machine")
+PACKAGES = ("repro.core", "repro.sim", "repro.machine", "repro.service")
 
 
 def _is_overload(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
