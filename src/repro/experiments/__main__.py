@@ -13,6 +13,7 @@ Prints Figs. 10-14 as ASCII charts and writes the raw run records to
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
@@ -57,7 +58,22 @@ def main(argv: list[str] | None = None) -> int:
                              "sweep (.jsonl or .sqlite, via repro.service); "
                              "reruns reuse any (config, policy, seed) run "
                              "already stored instead of simulating it again")
+    parser.add_argument("--faultline", default=None, metavar="PLAN.json",
+                        help="arm a serialized repro.faultline FaultPlan "
+                             "for the whole invocation (chaos replay: the "
+                             "same plan JSON reproduces the same faults "
+                             "bit-for-bit); an empty plan is a no-op")
     args = parser.parse_args(argv)
+
+    if args.faultline is not None:
+        from repro.faultline import FaultPlan, arm
+
+        plan = FaultPlan.from_json(
+            json.loads(Path(args.faultline).read_text())
+        )
+        arm(plan)
+        print(f"faultline: armed plan seed={plan.seed} "
+              f"rules={len(plan.rules)} from {args.faultline}")
 
     out = Path(args.out)
     out.mkdir(parents=True, exist_ok=True)

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.faultline import hooks as _fault_hooks
+from repro.faultline.faults import InjectedMmapError
 from repro.kernel import mmapi
 from repro.kernel.pagealloc import PageAllocator
 from repro.kernel.frame import FramePool
@@ -173,7 +175,16 @@ class Kernel:
         :class:`~repro.kernel.vm.Vma`.  ``huge=True`` requests 2 MiB pages
         (a specially mounted memory device in the paper's terms); huge
         allocations are order > 0 and therefore NEVER colored (§III-C).
+
+        The ``kernel.mmap.fail`` faultline site (scoped by mapping label,
+        falling back to the task id) simulates the syscall's ENOMEM path
+        with a typed :class:`~repro.faultline.faults.InjectedMmapError`.
         """
+        scope = label or f"t{task.tid}"
+        if _fault_hooks.should_fire("kernel.mmap.fail", scope):
+            raise InjectedMmapError(
+                "kernel.mmap.fail", scope, "simulated mmap ENOMEM"
+            )
         if length == 0 and (prot & mmapi.COLOR_ALLOC):
             mode, color = mmapi.decode_directive(addr)
             if mode == mmapi.MODE_SET_MEM:

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.faultline import hooks as _fault_hooks
 from repro.kernel.buddy import MAX_ORDER, BuddyAllocator
 from repro.kernel.colorlist import ColorMatrix
 from repro.kernel.frame import FramePool, FrameState
@@ -77,7 +78,18 @@ class PageAllocator:
 
     # ------------------------------------------------------------------ public
     def alloc_pages(self, task: TaskStruct, order: int = 0) -> AllocOutcome | None:
-        """Algorithm 1 entry point; returns None when memory is exhausted."""
+        """Algorithm 1 entry point; returns None when memory is exhausted.
+
+        The ``kernel.pagealloc.exhaust`` faultline site (scoped per task
+        and allocation ordinal) simulates frame-pool exhaustion by
+        returning None here, so the kernel's real
+        ``OutOfMemory``/``OutOfColoredMemory`` handling is what runs.
+        """
+        if _fault_hooks.should_fire(
+            "kernel.pagealloc.exhaust", f"t{task.tid}#a{task.pages_allocated}"
+        ):
+            self.failed_colored += task.colored
+            return None
         if order == 0 and (task.using_bank or task.using_llc):
             return self._alloc_colored(task)
         pfn = self._normal_buddy_alloc(task, order)

@@ -59,12 +59,18 @@ def write_jsonl(obs: Observer, path: str) -> None:
 
 # ------------------------------------------------------------------- Perfetto
 def _track_pids(obs: Observer) -> dict[str, int]:
-    """Stable track -> pid assignment in first-appearance order."""
+    """Stable track -> pid assignment in first-appearance order.
+
+    The counters track is claimed whenever the trace holds counter
+    *samples*, not only when counters are registered at export time —
+    a counter-samples-only trace (no spans, no instants) must still
+    produce a non-empty Perfetto document.
+    """
     pids: dict[str, int] = {}
     for event in obs.events:
         if event.track not in pids:
             pids[event.track] = len(pids) + 1
-    if obs.counter_names:
+    if obs.counter_names or len(obs.samples):
         pids.setdefault("counters", len(pids) + 1)
     return pids
 

@@ -16,27 +16,34 @@ Turns the simulator into a long-lived evaluation service:
 """
 
 from repro.service.client import ServiceClient
+from repro.service.clock import SYSTEM_CLOCK, Clock, FakeClock, SystemClock
 from repro.service.jobs import JobSpec, JobStatus
 from repro.service.scheduler import (
     BackpressureError,
+    CircuitOpenError,
     JobCancelled,
     JobFailed,
     JobHandle,
     Scheduler,
     ServiceError,
 )
-from repro.service.server import ServiceServer, request_sync
+from repro.service.server import ServiceServer, TransportError, request_sync
 from repro.service.store import (
     JsonlStore,
     MemoryStore,
     ResultStore,
     SqliteStore,
     open_store,
+    record_checksum,
 )
 from repro.service.worker import execute_jobspec
 
 __all__ = [
+    "SYSTEM_CLOCK",
     "BackpressureError",
+    "CircuitOpenError",
+    "Clock",
+    "FakeClock",
     "JobCancelled",
     "JobFailed",
     "JobHandle",
@@ -50,7 +57,10 @@ __all__ = [
     "ServiceError",
     "ServiceServer",
     "SqliteStore",
+    "SystemClock",
+    "TransportError",
     "execute_jobspec",
     "open_store",
+    "record_checksum",
     "request_sync",
 ]

@@ -1,0 +1,81 @@
+"""Injectable monotonic clocks for the service layer.
+
+The scheduler's timing-sensitive logic (retry backoff, circuit-breaker
+cooldown) reads time through a :class:`Clock` object instead of calling
+``time`` directly.  Production uses :data:`SYSTEM_CLOCK`; tests inject
+a :class:`FakeClock` whose ``sleep`` advances virtual time instantly,
+so backoff-ordering assertions run in microseconds and can never flake
+on a loaded CI host.
+
+Child-process supervision (attempt timeouts, poll cadence) deliberately
+stays on the real clock — worker processes live in wall-clock time and
+a virtual clock cannot deadline them.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+
+class Clock:
+    """Interface: monotonic seconds plus an interruptible sleep."""
+
+    def monotonic(self) -> float:
+        """Current monotonic time in seconds."""
+        raise NotImplementedError
+
+    def sleep(self, seconds: float) -> None:
+        """Block (really or virtually) for ``seconds``."""
+        raise NotImplementedError
+
+
+class SystemClock(Clock):
+    """The real thing: ``time.monotonic`` / ``time.sleep``."""
+
+    def monotonic(self) -> float:
+        """Wall monotonic time."""
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        """Real sleep (clamped at zero)."""
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+#: Shared default instance — schedulers use this unless told otherwise.
+SYSTEM_CLOCK = SystemClock()
+
+
+class FakeClock(Clock):
+    """Virtual monotonic clock for deterministic tests.
+
+    ``sleep`` advances virtual time immediately and records the
+    requested duration in :attr:`sleeps`, so a test asserts the
+    *schedule* (e.g. exponential backoff gaps) instead of measuring
+    real elapsed time.  Thread-safe: shard threads sleeping on it
+    advance the same timeline.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._lock = threading.Lock()
+        #: every sleep duration requested, in call order.
+        self.sleeps: list[float] = []
+
+    def monotonic(self) -> float:
+        """Current virtual time."""
+        with self._lock:
+            return self._now
+
+    def sleep(self, seconds: float) -> None:
+        """Advance virtual time by ``seconds`` without blocking."""
+        with self._lock:
+            if seconds > 0:
+                self._now += seconds
+                self.sleeps.append(seconds)
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward explicitly (e.g. to expire a cooldown)."""
+        with self._lock:
+            self._now += seconds

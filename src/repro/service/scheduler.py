@@ -24,6 +24,26 @@ Design (one :class:`Scheduler` instance = one service):
   ``max_retries``, then the job fails with its full attempt history.
   Cancellation is honoured queued (immediate) and mid-run (child
   terminated; inline runs finish their attempt, then cancel).
+* **Graceful degradation.**  Three policies keep one failing component
+  from sinking the service:
+
+  - a **per-shard circuit breaker**: after ``breaker_threshold``
+    consecutive failed attempts a shard *opens* and fails its jobs fast
+    with :class:`CircuitOpenError` (a typed ``ServiceError``) instead of
+    burning retry budgets; after ``breaker_cooldown_s`` one half-open
+    probe job is admitted, and its outcome closes or re-opens the shard.
+  - **hedged retries** for stragglers: with ``hedge_after_s`` set, a
+    process-executor attempt that has not reported by then launches a
+    second child; the first result wins and the loser is terminated.
+  - **cache-store fallback**: store errors (I/O faults, corrupt
+    payloads) are booked and retried-around; after
+    ``store_failure_limit`` consecutive errors the store is *demoted to
+    miss-only* — jobs keep running uncached rather than failing.
+
+* **Determinism aids.**  Retry backoff and breaker cooldowns read time
+  through an injectable :class:`~repro.service.clock.Clock`, so tests
+  drive them with a virtual clock; :mod:`repro.faultline` hook points
+  (``sched.attempt.kill``) inject deterministic attempt crashes.
 
 Counters and per-job spans are exported through ``repro.obs`` when a
 recording observer is supplied; the default NULL_OBSERVER keeps the
@@ -37,11 +57,15 @@ import itertools
 import multiprocessing as mp
 import threading
 import time
+from multiprocessing import connection as _mpc
 
+from repro.faultline import hooks as _fault_hooks
+from repro.faultline.faults import WorkerKillFault
 from repro.obs import NULL_OBSERVER, BaseObserver
+from repro.service.clock import SYSTEM_CLOCK, Clock
 from repro.service.jobs import JobSpec, JobStatus
 from repro.service.store import ResultStore
-from repro.service.worker import child_main, execute_jobspec
+from repro.service.worker import apply_worker_faults, child_main, execute_jobspec
 
 
 class ServiceError(Exception):
@@ -68,12 +92,79 @@ class JobFailed(ServiceError):
         self.attempts = attempts
 
 
+class CircuitOpenError(JobFailed):
+    """Raised for a job failed fast because its shard's breaker is open.
+
+    A subclass of :class:`JobFailed`, so callers handling generic job
+    failure keep working; the distinct type lets chaos campaigns and
+    clients tell "the shard is deliberately shedding load" from "the
+    job itself kept failing".
+    """
+
+
+class _Breaker:
+    """Per-shard circuit breaker (state mutated under the scheduler lock).
+
+    closed -> open after ``threshold`` consecutive attempt failures;
+    open -> half-open after ``cooldown_s`` (one probe job admitted);
+    half-open -> closed on probe success, -> open on probe failure.
+    """
+
+    __slots__ = ("threshold", "cooldown_s", "state", "failures",
+                 "opened_at", "probing")
+
+    def __init__(self, threshold: int | None, cooldown_s: float) -> None:
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self.state = "closed"
+        self.failures = 0
+        self.opened_at = 0.0
+        self.probing = False
+
+    def allow(self, now: float) -> bool:
+        """Whether a job may run now (admits the half-open probe)."""
+        if self.threshold is None or self.state == "closed":
+            return True
+        if self.state == "open":
+            if now - self.opened_at < self.cooldown_s:
+                return False
+            self.state = "half_open"
+            self.probing = False
+        if self.state == "half_open":
+            if self.probing:
+                return False
+            self.probing = True
+        return True
+
+    def record(self, ok: bool, now: float) -> str | None:
+        """Book one attempt outcome; returns a state transition or None."""
+        if self.threshold is None:
+            return None
+        if ok:
+            self.failures = 0
+            if self.state != "closed":
+                self.state = "closed"
+                self.probing = False
+                return "close"
+            return None
+        self.failures += 1
+        if self.state == "half_open" or (
+            self.state == "closed" and self.failures >= self.threshold
+        ):
+            self.state = "open"
+            self.opened_at = now
+            self.probing = False
+            return "open"
+        return None
+
+
 class _Job:
     """Internal mutable job state (lock discipline: scheduler._cv)."""
 
     __slots__ = (
         "spec", "digest", "seq", "shard", "status", "attempts", "result",
         "error", "from_cache", "cancel_requested", "done", "proc",
+        "failure_kind",
     )
 
     def __init__(self, spec: JobSpec, digest: str, seq: int, shard: int) -> None:
@@ -89,6 +180,7 @@ class _Job:
         self.cancel_requested = False
         self.done = threading.Event()
         self.proc = None  # live child process while a process attempt runs
+        self.failure_kind: str | None = None  # "circuit_open" for breaker fails
 
 
 class JobHandle:
@@ -142,7 +234,11 @@ class JobHandle:
             return self._job.result
         if self._job.status is JobStatus.CANCELLED:
             raise JobCancelled(f"job {self._job.spec.label} was cancelled")
-        raise JobFailed(
+        exc_type = (
+            CircuitOpenError if self._job.failure_kind == "circuit_open"
+            else JobFailed
+        )
+        raise exc_type(
             f"job {self._job.spec.label} failed: {self._job.error}",
             list(self._job.attempts),
         )
@@ -178,6 +274,17 @@ class Scheduler:
         observer: ``repro.obs`` observer for counters and per-job spans.
         mp_context: multiprocessing start-method name; defaults to
             "fork" where available (fast) else "spawn".
+        clock: time source for retry backoff and breaker cooldown
+            (tests inject a :class:`~repro.service.clock.FakeClock`;
+            child supervision stays on the real clock).
+        breaker_threshold: consecutive attempt failures that open a
+            shard's circuit breaker (None disables the breaker).
+        breaker_cooldown_s: open-state dwell before a half-open probe.
+        hedge_after_s: launch a hedged second attempt when a
+            process-executor attempt has not reported by then (None
+            disables hedging).
+        store_failure_limit: consecutive store errors before the store
+            is demoted to miss-only for the scheduler's lifetime.
     """
 
     def __init__(
@@ -192,6 +299,11 @@ class Scheduler:
         poll_interval_s: float = 0.02,
         observer: BaseObserver = NULL_OBSERVER,
         mp_context: str | None = None,
+        clock: Clock = SYSTEM_CLOCK,
+        breaker_threshold: int | None = 8,
+        breaker_cooldown_s: float = 5.0,
+        hedge_after_s: float | None = None,
+        store_failure_limit: int = 3,
     ) -> None:
         if shards < 1:
             raise ValueError("shards must be >= 1")
@@ -199,6 +311,10 @@ class Scheduler:
             raise ValueError(f"unknown executor {executor!r}")
         if queue_capacity < 1:
             raise ValueError("queue_capacity must be >= 1")
+        if breaker_threshold is not None and breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1 or None")
+        if store_failure_limit < 1:
+            raise ValueError("store_failure_limit must be >= 1")
         self.store = store
         self.shards = shards
         self.executor = executor
@@ -208,6 +324,9 @@ class Scheduler:
         self.backoff_max_s = backoff_max_s
         self.poll_interval_s = poll_interval_s
         self.obs = observer
+        self.clock = clock
+        self.hedge_after_s = hedge_after_s
+        self.store_failure_limit = store_failure_limit
         if mp_context is None:
             mp_context = (
                 "fork" if "fork" in mp.get_all_start_methods() else "spawn"
@@ -222,12 +341,21 @@ class Scheduler:
         self._seq = itertools.count()
         self._shutdown = False
         self._t0 = time.monotonic()
+        self._breakers = [
+            _Breaker(breaker_threshold, breaker_cooldown_s)
+            for _ in range(shards)
+        ]
+        self._store_failures = 0   # consecutive; resets on success
+        self._store_demoted = False
 
         # Counters (read under _cv or via stats()).
         self.counters = {
             "submitted": 0, "cache_hits": 0, "cache_misses": 0,
             "dedup_hits": 0, "completed": 0, "failed": 0, "cancelled": 0,
             "retries": 0, "timeouts": 0, "crashes": 0, "errors": 0,
+            "store_errors": 0, "store_demotions": 0,
+            "breaker_opens": 0, "breaker_fast_fails": 0,
+            "hedges": 0, "hedge_wins": 0,
         }
         self._register_obs_counters()
 
@@ -256,6 +384,18 @@ class Scheduler:
         self.obs.register_counter(
             "service.running", lambda now: float(self._running)
         )
+        self.obs.register_counter(
+            "service.breaker.open_shards",
+            lambda now: float(
+                sum(1 for b in self._breakers if b.state != "closed")
+            ),
+        )
+
+        def _injected(now: float) -> float:
+            injector = _fault_hooks.active()
+            return float(injector.fire_count()) if injector else 0.0
+
+        self.obs.register_counter("service.faults_injected", _injected)
         if self.store is not None:
             self.obs.register_counter(
                 "service.store.hits", lambda now: float(self.store.hits)
@@ -266,10 +406,68 @@ class Scheduler:
             self.obs.register_counter(
                 "service.store.entries", lambda now: float(len(self.store))
             )
+            self.obs.register_counter(
+                "service.store.corrupt", lambda now: float(self.store.corrupt)
+            )
 
     def _now_ns(self) -> float:
         """Wall-clock ns since scheduler start (span timestamps)."""
         return (time.monotonic() - self._t0) * 1e9
+
+    # ------------------------------------------------------- store degradation
+    def _store_get(self, digest: str) -> dict | None:
+        """Guarded store lookup: errors degrade to a miss, never fail the job.
+
+        After ``store_failure_limit`` consecutive errors the store is
+        demoted to miss-only (reads and writes both bypassed) for this
+        scheduler's lifetime, so a dead backing medium costs cache
+        effectiveness, not availability.
+        """
+        if self.store is None or self._store_demoted:
+            return None
+        try:
+            cached = self.store.get(digest)
+        except Exception as exc:  # noqa: BLE001 - any backend error degrades
+            self._book_store_error(exc)
+            return None
+        with self._cv:
+            self._store_failures = 0
+        return cached
+
+    def _store_put(self, digest: str, spec: dict, record: dict) -> None:
+        """Guarded store write (same degradation contract as `_store_get`)."""
+        if self.store is None or self._store_demoted:
+            return
+        try:
+            self.store.put(digest, spec, record)
+        except Exception as exc:  # noqa: BLE001 - any backend error degrades
+            self._book_store_error(exc)
+            return
+        with self._cv:
+            self._store_failures = 0
+
+    def _book_store_error(self, exc: Exception) -> None:
+        demoted = False
+        with self._cv:
+            self.counters["store_errors"] += 1
+            self._store_failures += 1
+            if (
+                not self._store_demoted
+                and self._store_failures >= self.store_failure_limit
+            ):
+                self._store_demoted = True
+                self.counters["store_demotions"] += 1
+                demoted = True
+        if self.obs.enabled:
+            self.obs.instant(
+                "service.store.error", self._now_ns(), track="service",
+                args={"error": f"{type(exc).__name__}: {exc}"},
+            )
+            if demoted:
+                self.obs.instant(
+                    "service.store.demoted", self._now_ns(), track="service",
+                    args={"after_errors": self.store_failure_limit},
+                )
 
     # --------------------------------------------------------------- submit
     def submit(
@@ -294,7 +492,7 @@ class Scheduler:
             self.counters["submitted"] += 1
             if not spec.force_run:
                 if self.store is not None:
-                    cached = self.store.get(digest)
+                    cached = self._store_get(digest)
                     if cached is not None:
                         self.counters["cache_hits"] += 1
                         job = _Job(spec, digest, next(self._seq), shard=-1)
@@ -365,6 +563,28 @@ class Scheduler:
                 self._queued -= 1
                 self._running += 1
                 self._cv.notify_all()
+                allowed = self._breakers[shard].allow(self.clock.monotonic())
+                if not allowed:
+                    self.counters["breaker_fast_fails"] += 1
+            if not allowed:
+                # Load shedding: the shard's breaker is open, fail fast
+                # with a typed error instead of burning the retry budget.
+                job.error = (
+                    f"circuit breaker open on shard {shard} "
+                    "(shard is shedding load after consecutive failures)"
+                )
+                job.failure_kind = "circuit_open"
+                if self.obs.enabled:
+                    self.obs.instant(
+                        f"breaker.fast_fail:{job.spec.label}", self._now_ns(),
+                        track="service", tid=shard,
+                        args={"digest": job.digest[:12]},
+                    )
+                self._finalize(job, JobStatus.FAILED)
+                with self._cv:
+                    self._running -= 1
+                    self._cv.notify_all()
+                continue
             try:
                 self._run_with_retries(job, shard)
             finally:
@@ -397,10 +617,11 @@ class Scheduler:
                           "outcome": outcome[0]},
                 )
             kind = outcome[0]
+            if kind != "cancelled":
+                self._book_breaker(shard, ok=(kind == "ok"))
             if kind == "ok":
                 result = outcome[1]
-                if self.store is not None:
-                    self.store.put(job.digest, spec.to_json(), result)
+                self._store_put(job.digest, spec.to_json(), result)
                 job.result = result
                 self._finalize(job, JobStatus.COMPLETED)
                 return
@@ -428,71 +649,144 @@ class Scheduler:
                     self.backoff_base_s * (2 ** attempt), self.backoff_max_s
                 )
                 # Sleep in poll-sized slices so cancellation stays prompt.
-                deadline = time.monotonic() + backoff
-                while time.monotonic() < deadline:
+                # Time flows through the injected clock: a FakeClock makes
+                # the whole backoff schedule virtual (and instant) in tests.
+                deadline = self.clock.monotonic() + backoff
+                while self.clock.monotonic() < deadline:
                     if job.cancel_requested:
                         self._finalize(job, JobStatus.CANCELLED)
                         return
-                    time.sleep(
+                    self.clock.sleep(
                         min(self.poll_interval_s,
-                            max(0.0, deadline - time.monotonic()))
+                            max(0.0, deadline - self.clock.monotonic()))
                     )
         self._finalize(job, JobStatus.FAILED)
+
+    def _book_breaker(self, shard: int, ok: bool) -> None:
+        """Feed one attempt outcome to the shard's circuit breaker."""
+        now = self.clock.monotonic()
+        with self._cv:
+            transition = self._breakers[shard].record(ok, now)
+            if transition == "open":
+                self.counters["breaker_opens"] += 1
+        if transition is not None and self.obs.enabled:
+            self.obs.instant(
+                f"service.breaker.{transition}", self._now_ns(),
+                track="service", tid=shard, args={"shard": shard},
+            )
 
     def _execute_attempt(self, job: _Job, attempt: int) -> tuple:
         """One attempt: ("ok", result) | ("err"|"crash"|"timeout", msg) |
         ("cancelled", msg)."""
+        rule = _fault_hooks.should_fire(
+            "sched.attempt.kill", f"{job.digest[:12]}#a{attempt}"
+        )
+        if rule is not None:
+            # Parent-side kill injection: the attempt is booked exactly
+            # like a child that died before reporting, per-attempt
+            # deterministic (the scope encodes the attempt number).
+            return ("crash",
+                    "faultline: injected worker kill "
+                    f"(attempt {attempt}, digest {job.digest[:12]})")
         if self.executor == "inline":
             try:
+                apply_worker_faults(job.spec, in_child=False)
                 return ("ok", self.runner(job.spec))
+            except WorkerKillFault as exc:
+                return ("crash", f"faultline: {exc}")
             except Exception as exc:  # noqa: BLE001 - booked as attempt outcome
                 return ("err", f"{type(exc).__name__}: {exc}")
         return self._execute_in_process(job)
 
-    def _execute_in_process(self, job: _Job) -> tuple:
+    def _spawn_lane(self, spec: JobSpec) -> list:
+        """Start one attempt child; returns ``[recv_conn, process]``."""
         recv, send = self._mp.Pipe(duplex=False)
         proc = self._mp.Process(
-            target=child_main, args=(send, self.runner, job.spec), daemon=True
+            target=child_main, args=(send, self.runner, spec), daemon=True
         )
         proc.start()
         send.close()
-        job.proc = proc
+        return [recv, proc]
+
+    def _execute_in_process(self, job: _Job) -> tuple:
+        """Supervise one process attempt, hedging stragglers if enabled.
+
+        With ``hedge_after_s`` set, a primary child that has not reported
+        by then gets a hedge sibling; the first lane to report wins and
+        every other lane is terminated on the way out.
+        """
         spec = job.spec
-        deadline = (
-            None if spec.timeout_s is None
-            else time.monotonic() + spec.timeout_s
+        lanes = [self._spawn_lane(spec) + [False]]  # [recv, proc, is_hedge]
+        job.proc = lanes[0][1]
+        start = time.monotonic()
+        deadline = None if spec.timeout_s is None else start + spec.timeout_s
+        hedge_at = (
+            None if self.hedge_after_s is None else start + self.hedge_after_s
         )
+        last_exitcode: int | None = None
         try:
             while True:
-                if recv.poll(self.poll_interval_s):
+                ready = _mpc.wait(
+                    [lane[0] for lane in lanes], timeout=self.poll_interval_s
+                )
+                for conn in ready:
+                    lane = next(ln for ln in lanes if ln[0] is conn)
+                    recv, proc, is_hedge = lane
                     try:
                         msg = recv.recv()
                     except EOFError:
                         proc.join()
-                        return ("crash",
-                                f"worker exited with code {proc.exitcode} "
-                                "before reporting a result")
+                        last_exitcode = proc.exitcode
+                        lanes.remove(lane)
+                        recv.close()
+                        continue
                     proc.join()
+                    if is_hedge:
+                        with self._cv:
+                            self.counters["hedge_wins"] += 1
                     if msg[0] == "ok":
                         return ("ok", msg[1])
                     return ("err", msg[1])
                 if job.cancel_requested:
-                    proc.terminate()
-                    proc.join()
                     return ("cancelled", "terminated on cancel request")
-                if deadline is not None and time.monotonic() >= deadline:
-                    proc.terminate()
-                    proc.join()
-                    return ("timeout",
-                            f"attempt exceeded {spec.timeout_s}s")
-                if not proc.is_alive() and not recv.poll():
-                    proc.join()
+                now = time.monotonic()
+                if deadline is not None and now >= deadline:
+                    return ("timeout", f"attempt exceeded {spec.timeout_s}s")
+                # Reap lanes that died without ever reporting.
+                for lane in list(lanes):
+                    recv, proc, _ = lane
+                    if not proc.is_alive() and not recv.poll():
+                        proc.join()
+                        last_exitcode = proc.exitcode
+                        lanes.remove(lane)
+                        recv.close()
+                if not lanes:
                     return ("crash",
-                            f"worker exited with code {proc.exitcode} "
+                            f"worker exited with code {last_exitcode} "
                             "before reporting a result")
+                job.proc = lanes[0][1]
+                if (
+                    hedge_at is not None
+                    and now >= hedge_at
+                    and len(lanes) == 1
+                    and not lanes[0][2]
+                ):
+                    lanes.append(self._spawn_lane(spec) + [True])
+                    with self._cv:
+                        self.counters["hedges"] += 1
+                    if self.obs.enabled:
+                        self.obs.instant(
+                            f"hedge:{spec.label}", self._now_ns(),
+                            track="service",
+                            args={"after_s": self.hedge_after_s},
+                        )
         finally:
             job.proc = None
-            recv.close()
+            for recv, proc, _ in lanes:
+                if proc.is_alive():
+                    proc.terminate()
+                proc.join()
+                recv.close()
 
     def _finalize(self, job: _Job, status: JobStatus) -> None:
         with self._cv:

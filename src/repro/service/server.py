@@ -17,6 +17,13 @@ shutdown   —                                        ``{"stopping": true}``
 
 Blocking scheduler calls run in worker threads (``asyncio.to_thread``),
 so one slow job never stalls the event loop or other connections.
+
+Transport failures are typed: a dropped connection or a truncated
+response line surfaces from :func:`request_sync` as
+:class:`TransportError` (a ``ServiceError``), never a bare decode
+error.  The matching :mod:`repro.faultline` sites —
+``server.conn.drop`` and ``server.write.partial``, scoped per request
+as ``{op}#r{index}`` — exercise exactly those paths.
 """
 
 from __future__ import annotations
@@ -25,9 +32,14 @@ import asyncio
 import json
 import socket
 
+from repro.faultline import hooks as _fault_hooks
 from repro.service.client import ServiceClient
 from repro.service.jobs import JobSpec
 from repro.service.scheduler import JobHandle, ServiceError
+
+
+class TransportError(ServiceError):
+    """The TCP transport failed mid-request (drop / truncated response)."""
 
 
 class ServiceServer:
@@ -75,10 +87,12 @@ class ServiceServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         try:
+            req_idx = 0
             while True:
                 line = await reader.readline()
                 if not line:
                     break
+                request: dict | None = None
                 try:
                     request = json.loads(line)
                     response = await self._dispatch(request)
@@ -90,7 +104,19 @@ class ServiceServer:
                         "ok": False,
                         "error": f"{type(exc).__name__}: {exc}",
                     }
-                writer.write((json.dumps(response) + "\n").encode())
+                op = request.get("op") if isinstance(request, dict) else "?"
+                scope = f"{op}#r{req_idx}"
+                req_idx += 1
+                if _fault_hooks.should_fire("server.conn.drop", scope):
+                    break  # drop without responding; client sees a typed error
+                payload = (json.dumps(response) + "\n").encode()
+                if _fault_hooks.should_fire("server.write.partial", scope):
+                    # Torn write: ship a prefix with no line terminator,
+                    # then close — the client must refuse to parse it.
+                    writer.write(payload[: max(1, len(payload) // 2)])
+                    await writer.drain()
+                    break
+                writer.write(payload)
                 await writer.drain()
                 if request_is_shutdown(response):
                     break
@@ -178,13 +204,33 @@ def request_sync(host: str, port: int, payload: dict, timeout: float = 30.0) -> 
     """One synchronous request/response round trip (CLI helper).
 
     Opens a fresh connection, sends one line, reads one line back.
+    A connection dropped before the full response line arrives raises
+    :class:`TransportError` — a truncated payload is never parsed.
     """
     with socket.create_connection((host, port), timeout=timeout) as sock:
         sock.sendall((json.dumps(payload) + "\n").encode())
         buf = b""
         while not buf.endswith(b"\n"):
-            chunk = sock.recv(65536)
+            try:
+                chunk = sock.recv(65536)
+            except OSError as exc:
+                raise TransportError(
+                    f"connection error mid-response: {exc}"
+                ) from exc
             if not chunk:
                 break
             buf += chunk
-    return json.loads(buf)
+    if not buf.endswith(b"\n"):
+        if not buf:
+            raise TransportError(
+                f"server at {host}:{port} dropped the connection "
+                "before responding"
+            )
+        raise TransportError(
+            f"server sent a truncated response ({len(buf)} bytes, "
+            "no line terminator)"
+        )
+    try:
+        return json.loads(buf)
+    except json.JSONDecodeError as exc:
+        raise TransportError(f"malformed response line: {exc}") from exc

@@ -14,20 +14,39 @@ share one interface:
 
 Entries are versioned: every payload carries the serialization
 ``schema_version``, and :meth:`ResultStore.get` treats a version
-mismatch as a miss (never deserializes a stale layout wrongly).  Stores
-count ``hits``/``misses``/``puts``; the scheduler exports these through
-``repro.obs`` counters.
+mismatch as a miss (never deserializes a stale layout wrongly).
+Entries written by this build also carry a ``record_sha`` integrity
+checksum over the canonical record JSON; a lookup whose payload fails
+the checksum is booked as a *corrupt miss* instead of being returned,
+so a torn or bit-flipped store entry costs a re-simulation, never a
+wrong result.  Stores count ``hits``/``misses``/``puts``/``corrupt``;
+the scheduler exports these through ``repro.obs`` counters.
+
+Hook points for :mod:`repro.faultline` cover the failure modes a real
+backing medium has: ``store.get.io`` / ``store.put.io`` raise a typed
+:class:`~repro.faultline.faults.StoreIOFault`, and ``store.get.corrupt``
+feeds the integrity check a bit-flipped payload.  All three are free
+when no plan is armed.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import sqlite3
 import threading
 import time
 
+from repro.faultline import hooks as _fault_hooks
+from repro.faultline.faults import StoreIOFault
 from repro.sim.metrics import SCHEMA_VERSION
+
+
+def record_checksum(record: dict) -> str:
+    """Integrity checksum: sha256 over the canonical record JSON."""
+    doc = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(doc.encode()).hexdigest()
 
 
 class ResultStore:
@@ -44,6 +63,7 @@ class ResultStore:
         self.hits = 0
         self.misses = 0
         self.puts = 0
+        self.corrupt = 0
 
     # ----------------------------------------------------------------- access
     def get(self, digest: str) -> dict | None:
@@ -51,22 +71,43 @@ class ResultStore:
 
         A schema-version mismatch counts as a miss: the entry stays on
         disk (an older build may still want it) but is never returned.
+        A payload failing its ``record_sha`` integrity check is a
+        *corrupt* miss — counted separately, never returned.
         """
+        rule = _fault_hooks.should_fire("store.get.io", digest[:12])
+        if rule is not None:
+            raise StoreIOFault("store.get.io", digest[:12], "simulated read error")
         with self._lock:
             entry = self._entries.get(digest)
             if entry is None or entry.get("schema_version") != SCHEMA_VERSION:
                 self.misses += 1
                 return None
+            record = entry["record"]
+            expected = entry.get("record_sha")
+            if _fault_hooks.should_fire("store.get.corrupt", digest[:12]):
+                # Feed the integrity check a bit-flipped payload, exactly
+                # like a torn write or medium corruption would.
+                record = dict(record)
+                record["__faultline_corruption__"] = True
+                expected = expected or record_checksum(entry["record"])
+            if expected is not None and record_checksum(record) != expected:
+                self.corrupt += 1
+                self.misses += 1
+                return None
             self.hits += 1
-            return entry["record"]
+            return record
 
     def put(self, digest: str, spec: dict, record: dict) -> None:
         """Store ``record`` (a ``RunRecord.to_json()`` dict) under ``digest``."""
+        rule = _fault_hooks.should_fire("store.put.io", digest[:12])
+        if rule is not None:
+            raise StoreIOFault("store.put.io", digest[:12], "simulated write error")
         entry = {
             "digest": digest,
             "schema_version": SCHEMA_VERSION,
             "spec": spec,
             "record": record,
+            "record_sha": record_checksum(record),
             "created_at": time.time(),
         }
         with self._lock:
@@ -88,13 +129,14 @@ class ResultStore:
             return list(self._entries)
 
     def stats(self) -> dict[str, int]:
-        """Counter snapshot: entries / hits / misses / puts."""
+        """Counter snapshot: entries / hits / misses / puts / corrupt."""
         with self._lock:
             return {
                 "entries": len(self._entries),
                 "hits": self.hits,
                 "misses": self.misses,
                 "puts": self.puts,
+                "corrupt": self.corrupt,
             }
 
     def close(self) -> None:

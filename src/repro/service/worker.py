@@ -14,12 +14,47 @@ the scheduler converts into a retryable *crash* outcome.
 
 from __future__ import annotations
 
+import os
+import time
 import traceback
 
 from repro.alloc.policies import Policy
 from repro.experiments.runner import run_benchmark, run_synthetic
+from repro.faultline import hooks as _fault_hooks
+from repro.faultline.faults import WorkerKillFault
+from repro.faultline.plan import DEFAULT_HANG_S, DEFAULT_SLOW_START_S
 from repro.obs import NULL_OBSERVER, BaseObserver, Observer, export_run
 from repro.service.jobs import JobSpec
+
+
+def apply_worker_faults(spec: JobSpec, in_child: bool) -> None:
+    """Faultline gate at worker start (no-op unless a plan is armed).
+
+    * ``worker.slow_start`` — sleep before running (straggler; what the
+      scheduler's hedged retry exists to beat).
+    * ``worker.kill`` — die before reporting: ``os._exit`` in a child
+      (parent sees pipe EOF -> crash) or a typed
+      :class:`WorkerKillFault` inline (booked as crash by the shard).
+    * ``worker.hang`` — sleep far past any deadline; only honoured in a
+      child, where the parent's ``timeout_s`` supervision can reap it
+      (an inline hang would stall the shard thread itself).
+
+    Scopes are digest-prefixed, so a plan targets specific jobs
+    deterministically on both sides of the fork boundary.
+    """
+    scope = spec.digest()[:12]
+    rule = _fault_hooks.should_fire("worker.slow_start", scope)
+    if rule is not None:
+        time.sleep(rule.arg if rule.arg is not None else DEFAULT_SLOW_START_S)
+    rule = _fault_hooks.should_fire("worker.kill", scope)
+    if rule is not None:
+        if in_child:
+            os._exit(87)  # die silently: parent books a crash via pipe EOF
+        raise WorkerKillFault("worker.kill", scope)
+    if in_child:
+        rule = _fault_hooks.should_fire("worker.hang", scope)
+        if rule is not None:
+            time.sleep(rule.arg if rule.arg is not None else DEFAULT_HANG_S)
 
 
 def execute_jobspec(spec: JobSpec) -> dict:
@@ -56,6 +91,7 @@ def child_main(conn, runner, spec: JobSpec) -> None:
     books a crash.
     """
     try:
+        apply_worker_faults(spec, in_child=True)
         result = runner(spec)
         conn.send(("ok", result))
     except BaseException as exc:  # noqa: BLE001 - must report, not die silent

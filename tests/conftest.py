@@ -1,6 +1,15 @@
-"""Shared fixtures: small machines and kernels for fast tests."""
+"""Shared fixtures: small machines and kernels for fast tests.
+
+Also enforces a per-test hang deadline: with ``pytest-timeout``
+installed the ``timeout`` ini option does it; without it (hermetic
+containers) a ``faulthandler`` fallback aborts the process with full
+tracebacks after the same deadline — a regression that hangs costs CI
+minutes, not forever.
+"""
 
 from __future__ import annotations
+
+import importlib.util
 
 import pytest
 
@@ -8,6 +17,25 @@ from repro.core.tintmalloc import TintMalloc
 from repro.kernel.kernel import Kernel
 from repro.machine.presets import opteron_6128, tiny_machine
 from repro.util.units import MIB
+
+_HAVE_PYTEST_TIMEOUT = importlib.util.find_spec("pytest_timeout") is not None
+#: Fallback per-test deadline; keep in sync with `timeout` in pyproject.
+_FALLBACK_TIMEOUT_S = 300.0
+
+if not _HAVE_PYTEST_TIMEOUT:
+    import faulthandler
+
+    @pytest.hookimpl(hookwrapper=True)
+    def pytest_runtest_protocol(item):
+        """Arm a watchdog per test: dump all stacks and exit on a hang."""
+        if faulthandler.cancel_dump_traceback_later:  # platform support
+            faulthandler.dump_traceback_later(_FALLBACK_TIMEOUT_S, exit=True)
+            try:
+                yield
+            finally:
+                faulthandler.cancel_dump_traceback_later()
+        else:  # pragma: no cover - faulthandler always has it on CPython
+            yield
 
 
 def pytest_addoption(parser):

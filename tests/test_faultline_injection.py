@@ -1,0 +1,461 @@
+"""End-to-end fault injection: every fault class recovers or fails typed.
+
+The degradation invariant under test, per fault class: an injected
+fault either (a) fully recovers — the job completes with a record
+bit-identical to the fault-free run — or (b) surfaces as a typed
+:class:`ServiceError`; never a hang, never silently-wrong data.
+
+Also covers the degradation machinery itself (circuit breaker,
+hedged retries, cache-store demotion), the ``NO_FAULTS``
+behaviour-identity guarantee, and the acceptance regression test:
+a serialized plan replayed in a fresh process produces the same
+per-job outcomes (what CI's failing-plan artifact relies on).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.faultline import NO_FAULTS, FaultPlan, FaultRule
+from repro.faultline.campaign import (
+    _run_specs,
+    baseline_records,
+    campaign_specs,
+    canonical,
+    random_plan,
+    run_campaign,
+    run_case,
+)
+from repro.faultline.faults import StoreIOFault
+from repro.faultline.hooks import armed
+from repro.service import (
+    CircuitOpenError,
+    FakeClock,
+    JobFailed,
+    JobSpec,
+    MemoryStore,
+    Scheduler,
+    ServiceClient,
+    ServiceError,
+    ServiceServer,
+    TransportError,
+    request_sync,
+)
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+REPO = str(Path(__file__).resolve().parent.parent)
+
+
+def ok_runner(spec: JobSpec) -> dict:
+    """Instant deterministic evaluation (module-level: fork-safe)."""
+    return {"bench": spec.bench, "seed": spec.seed, "rep": spec.rep}
+
+
+def slow_runner(spec: JobSpec) -> dict:
+    """An evaluation slow enough to look like a straggler."""
+    time.sleep(0.4)
+    return {"bench": spec.bench, "rep": spec.rep}
+
+
+def stub_spec(rep: int = 0, **kw) -> JobSpec:
+    return JobSpec(bench="lbm", profile="mini", rep=rep, **kw)
+
+
+def mini_spec(**kw) -> JobSpec:
+    """A real (tiny) synthetic simulation spec for kernel-fault tests."""
+    kw.setdefault("max_retries", 0)
+    return JobSpec(kind="synthetic", bench="synthetic", policy="mem+llc",
+                   config="4_threads_4_nodes", profile="mini", **kw)
+
+
+def plan_of(*rules: FaultRule, seed: int = 0) -> FaultPlan:
+    return FaultPlan(seed=seed, rules=tuple(rules))
+
+
+class TestStoreFaults:
+    def test_get_io_fault_is_a_typed_oserror(self):
+        store = MemoryStore()
+        store.put("d" * 64, {"bench": "x"}, {"v": 1})
+        with armed(plan_of(FaultRule(site="store.get.io"))):
+            with pytest.raises(StoreIOFault) as exc_info:
+                store.get("d" * 64)
+        assert isinstance(exc_info.value, OSError)
+
+    def test_scheduler_absorbs_get_io_fault(self):
+        plan = plan_of(FaultRule(site="store.get.io", max_fires=1))
+        with armed(plan):
+            with Scheduler(store=MemoryStore(), executor="inline",
+                           runner=ok_runner) as sched:
+                record = sched.submit(stub_spec()).result(timeout=30)
+        assert record["bench"] == "lbm"
+        assert sched.counters["store_errors"] == 1
+
+    def test_persistent_store_errors_demote_to_miss_only(self):
+        plan = plan_of(FaultRule(site="store.get.io"))
+        store = MemoryStore()
+        with armed(plan):
+            with Scheduler(store=store, executor="inline", runner=ok_runner,
+                           store_failure_limit=1) as sched:
+                assert sched.submit(stub_spec(rep=0)).result(timeout=30)
+                # Demoted now: later jobs never touch the store again,
+                # including resubmissions that would have been cache hits.
+                assert sched.submit(stub_spec(rep=1)).result(timeout=30)
+                assert sched.submit(stub_spec(rep=0)).result(timeout=30)
+        assert sched.counters["store_demotions"] == 1
+        assert sched.counters["store_errors"] == 1
+        assert sched.counters["cache_hits"] == 0
+        assert sched.counters["completed"] == 3
+
+    def test_corrupt_entry_is_never_returned(self):
+        store = MemoryStore()
+        store.put("e" * 64, {"bench": "x"}, {"v": 1})
+        with armed(plan_of(FaultRule(site="store.get.corrupt"))):
+            assert store.get("e" * 64) is None
+        assert store.corrupt == 1
+        assert store.get("e" * 64) == {"v": 1}  # entry itself is intact
+
+    def test_corrupt_cache_recovers_bit_identical(self):
+        store = MemoryStore()
+        with Scheduler(store=store, executor="inline",
+                       runner=ok_runner) as sched:
+            first = sched.submit(stub_spec()).result(timeout=30)
+        plan = plan_of(FaultRule(site="store.get.corrupt", max_fires=1))
+        with armed(plan):
+            with Scheduler(store=store, executor="inline",
+                           runner=ok_runner) as sched:
+                again = sched.submit(stub_spec()).result(timeout=30)
+        assert canonical(again) == canonical(first)
+        assert sched.counters["cache_hits"] == 0  # corrupt booked as miss
+        assert store.corrupt == 1
+
+    def test_put_io_fault_does_not_fail_the_job(self):
+        store = MemoryStore()
+        with armed(plan_of(FaultRule(site="store.put.io"))):
+            with Scheduler(store=store, executor="inline",
+                           runner=ok_runner) as sched:
+                record = sched.submit(stub_spec()).result(timeout=30)
+        assert record["bench"] == "lbm"
+        assert sched.counters["store_errors"] == 1
+        assert len(store) == 0  # the write really was lost
+
+
+class TestSchedulerAndWorkerFaults:
+    def test_attempt_kill_is_retried_and_recovers(self):
+        spec = stub_spec(max_retries=2)
+        with Scheduler(executor="inline", runner=ok_runner) as sched:
+            baseline = sched.submit(spec).result(timeout=30)
+        plan = plan_of(FaultRule(site="sched.attempt.kill",
+                                 scopes=(f"{spec.digest()[:12]}#a0",)))
+        with armed(plan):
+            with Scheduler(executor="inline", runner=ok_runner,
+                           backoff_base_s=0.001) as sched:
+                handle = sched.submit(spec)
+                record = handle.result(timeout=30)
+        assert canonical(record) == canonical(baseline)
+        assert [a["outcome"] for a in handle.attempts] == ["crash", "ok"]
+        assert sched.counters["crashes"] == 1
+        assert sched.counters["retries"] == 1
+
+    def test_unbounded_kills_surface_typed_jobfailed(self):
+        plan = plan_of(FaultRule(site="sched.attempt.kill"))
+        with armed(plan):
+            with Scheduler(executor="inline", runner=ok_runner,
+                           backoff_base_s=0.001) as sched:
+                handle = sched.submit(stub_spec(max_retries=1))
+                with pytest.raises(JobFailed) as exc_info:
+                    handle.result(timeout=30)
+        assert isinstance(exc_info.value, ServiceError)
+        assert [a["outcome"] for a in handle.attempts] == ["crash", "crash"]
+
+    def test_worker_kill_inline_books_a_crash(self):
+        plan = plan_of(FaultRule(site="worker.kill"))
+        with armed(plan):
+            with Scheduler(executor="inline", runner=ok_runner) as sched:
+                handle = sched.submit(stub_spec(max_retries=0))
+                with pytest.raises(JobFailed, match="faultline"):
+                    handle.result(timeout=30)
+        assert handle.attempts[0]["outcome"] == "crash"
+
+    def test_worker_kill_in_child_process(self):
+        # Fork inherits the armed plan; the child hard-exits mid-attempt
+        # and the parent books a crash — same typed surface as inline.
+        plan = plan_of(FaultRule(site="worker.kill"))
+        with armed(plan):
+            with Scheduler(executor="process", runner=ok_runner,
+                           backoff_base_s=0.001) as sched:
+                handle = sched.submit(stub_spec(max_retries=1, timeout_s=30))
+                with pytest.raises(JobFailed):
+                    handle.result(timeout=60)
+        assert [a["outcome"] for a in handle.attempts] \
+            == ["crash", "crash"]
+
+    def test_worker_slow_start_delays_but_recovers(self):
+        with Scheduler(executor="inline", runner=ok_runner) as sched:
+            baseline = sched.submit(stub_spec()).result(timeout=30)
+        plan = plan_of(FaultRule(site="worker.slow_start", arg=0.01))
+        with armed(plan) as injector:
+            with Scheduler(executor="inline", runner=ok_runner) as sched:
+                record = sched.submit(stub_spec()).result(timeout=30)
+            assert injector.fire_count("worker.slow_start") == 1
+        assert canonical(record) == canonical(baseline)
+
+    def test_worker_hang_is_bounded_by_the_job_timeout(self):
+        # The hang stalls the child forever; the parent's timeout_s is
+        # the only thing standing between that and a hung campaign.
+        plan = plan_of(FaultRule(site="worker.hang"))
+        with armed(plan):
+            with Scheduler(executor="process", runner=ok_runner) as sched:
+                handle = sched.submit(
+                    stub_spec(max_retries=0, timeout_s=0.5)
+                )
+                with pytest.raises(JobFailed, match="exceeded"):
+                    handle.result(timeout=60)
+        assert handle.attempts[0]["outcome"] == "timeout"
+        assert sched.counters["timeouts"] == 1
+
+
+class TestKernelFaults:
+    """Kernel-layer faults, driven through the real simulation runner."""
+
+    def test_frame_exhaustion_surfaces_typed_error(self):
+        plan = plan_of(FaultRule(site="kernel.pagealloc.exhaust"))
+        with armed(plan):
+            with Scheduler(executor="inline") as sched:
+                handle = sched.submit(mini_spec())
+                with pytest.raises(JobFailed) as exc_info:
+                    handle.result(timeout=60)
+        assert isinstance(exc_info.value, ServiceError)
+        assert handle.attempts[0]["outcome"] == "err"
+
+    def test_mmap_failure_surfaces_typed_error(self):
+        plan = plan_of(FaultRule(site="kernel.mmap.fail"))
+        with armed(plan):
+            with Scheduler(executor="inline") as sched:
+                handle = sched.submit(mini_spec())
+                with pytest.raises(JobFailed, match="InjectedMmapError"):
+                    handle.result(timeout=60)
+        assert handle.attempts[0]["outcome"] == "err"
+
+    @pytest.mark.parametrize(
+        "site", ["kernel.pagealloc.exhaust", "kernel.mmap.fail"]
+    )
+    def test_single_kernel_fault_recovers_bit_identical(self, site):
+        spec = mini_spec(max_retries=2)
+        with Scheduler(executor="inline") as sched:
+            baseline = sched.submit(spec).result(timeout=60)
+        plan = plan_of(FaultRule(site=site, max_fires=1))
+        with armed(plan) as injector:
+            with Scheduler(executor="inline",
+                           backoff_base_s=0.001) as sched:
+                handle = sched.submit(spec)
+                record = handle.result(timeout=60)
+            assert injector.fire_count(site) == 1
+        assert canonical(record) == canonical(baseline)
+        assert [a["outcome"] for a in handle.attempts] == ["err", "ok"]
+
+
+class TestServerFaults:
+    def _with_server(self, plan, scope_checks):
+        """Run ``scope_checks(port)`` in a thread against a live server."""
+        async def main() -> None:
+            store = MemoryStore()
+            with ServiceClient(store=store, shards=1, executor="inline",
+                               runner=ok_runner) as client:
+                server = ServiceServer(client, port=0)
+                await server.start()
+                serve_task = asyncio.create_task(server.serve_forever())
+                try:
+                    with armed(plan):
+                        await asyncio.to_thread(scope_checks, server.port)
+                    # Disarmed, the same request works again (the server
+                    # itself survived the drop; only that one connection
+                    # died).
+                    response = await asyncio.to_thread(
+                        request_sync, "127.0.0.1", server.port,
+                        {"op": "ping"}, 10.0,
+                    )
+                    assert response == {"ok": True, "pong": True}
+                finally:
+                    await server.stop()
+                    await serve_task
+        asyncio.run(main())
+
+    def test_connection_drop_surfaces_transport_error(self):
+        plan = plan_of(FaultRule(site="server.conn.drop",
+                                 scopes=("ping#r0",)))
+
+        def check(port: int) -> None:
+            with pytest.raises(TransportError, match="dropped"):
+                request_sync("127.0.0.1", port, {"op": "ping"}, 10.0)
+
+        self._with_server(plan, check)
+
+    def test_partial_write_surfaces_transport_error(self):
+        plan = plan_of(FaultRule(site="server.write.partial",
+                                 scopes=("ping#r0",)))
+
+        def check(port: int) -> None:
+            with pytest.raises(TransportError, match="truncated"):
+                request_sync("127.0.0.1", port, {"op": "ping"}, 10.0)
+
+        self._with_server(plan, check)
+
+
+class TestDegradation:
+    """The graceful-degradation machinery itself (no plan required)."""
+
+    @staticmethod
+    def _flaky_by_rep(threshold: int):
+        def runner(spec: JobSpec) -> dict:
+            if spec.rep < threshold:
+                raise RuntimeError(f"organic failure rep={spec.rep}")
+            return {"rep": spec.rep}
+        return runner
+
+    def test_breaker_opens_and_fails_fast_typed(self):
+        clock = FakeClock()
+        with Scheduler(executor="inline", runner=self._flaky_by_rep(99),
+                       clock=clock, breaker_threshold=3,
+                       breaker_cooldown_s=100.0) as sched:
+            for rep in range(3):
+                with pytest.raises(JobFailed):
+                    sched.submit(stub_spec(rep=rep, max_retries=0)).result(timeout=30)
+            assert sched.counters["breaker_opens"] == 1
+            # The open shard sheds load: typed fast-fail, no attempt run.
+            handle = sched.submit(stub_spec(rep=3, max_retries=0))
+            with pytest.raises(CircuitOpenError, match="shedding load"):
+                handle.result(timeout=30)
+            assert handle.attempts == []
+            assert sched.counters["breaker_fast_fails"] == 1
+
+    def test_breaker_half_open_probe_success_closes(self):
+        clock = FakeClock()
+        with Scheduler(executor="inline", runner=self._flaky_by_rep(3),
+                       clock=clock, breaker_threshold=3,
+                       breaker_cooldown_s=100.0) as sched:
+            for rep in range(3):
+                with pytest.raises(JobFailed):
+                    sched.submit(stub_spec(rep=rep, max_retries=0)).result(timeout=30)
+            clock.advance(100.0)
+            # Cooldown elapsed: one probe admitted; it succeeds and the
+            # shard goes back to normal service.
+            assert sched.submit(stub_spec(rep=3, max_retries=0)).result(timeout=30)
+            assert sched.submit(stub_spec(rep=4, max_retries=0)).result(timeout=30)
+            assert sched.counters["breaker_opens"] == 1
+            assert sched.counters["breaker_fast_fails"] == 0
+            assert sched.counters["completed"] == 2
+
+    def test_breaker_probe_failure_reopens(self):
+        clock = FakeClock()
+        with Scheduler(executor="inline", runner=self._flaky_by_rep(99),
+                       clock=clock, breaker_threshold=3,
+                       breaker_cooldown_s=100.0) as sched:
+            for rep in range(3):
+                with pytest.raises(JobFailed):
+                    sched.submit(stub_spec(rep=rep, max_retries=0)).result(timeout=30)
+            clock.advance(100.0)
+            with pytest.raises(JobFailed):  # the probe itself ran, failed
+                sched.submit(stub_spec(rep=3, max_retries=0)).result(timeout=30)
+            assert sched.counters["breaker_opens"] == 2
+            with pytest.raises(CircuitOpenError):  # and the shard re-shed
+                sched.submit(stub_spec(rep=4, max_retries=0)).result(timeout=30)
+
+    def test_hedged_retry_rescues_a_straggler(self):
+        with Scheduler(executor="process", runner=slow_runner,
+                       hedge_after_s=0.05) as sched:
+            record = sched.submit(
+                stub_spec(timeout_s=30)
+            ).result(timeout=60)
+        assert record["bench"] == "lbm"
+        assert sched.counters["hedges"] >= 1
+        assert sched.counters["completed"] == 1
+
+
+class TestNoFaultsEquivalence:
+    def test_no_faults_sweep_bit_identical_to_unarmed(self):
+        specs = campaign_specs()
+        unarmed = baseline_records(specs)
+        with armed(NO_FAULTS) as injector:
+            assert injector is None  # arming the empty plan is a no-op
+            under_plan = baseline_records(specs)
+        assert under_plan == unarmed
+
+
+class TestCampaign:
+    def test_random_plans_are_deterministic_and_varied(self):
+        assert random_plan(5, 3) == random_plan(5, 3)
+        plans = {random_plan(5, i) for i in range(6)}
+        assert len(plans) == 6
+
+    def test_short_campaign_invariant_holds(self):
+        result = run_campaign(budget_s=60.0, seed=0, max_cases=3)
+        assert result.ok, result.failure
+        assert result.cases_run == 3
+        assert result.failure is None
+
+    def test_run_case_reports_no_violation_for_empty_plan(self):
+        assert run_case(NO_FAULTS) is None
+
+    def test_failing_plan_replays_in_fresh_process(self, tmp_path):
+        """Acceptance regression: a serialized plan reproduces the same
+        per-job outcomes in a brand-new interpreter.
+
+        Only cap-free rules here: with no ``max_fires`` bookkeeping,
+        every decision is a pure (seed, site, scope) function and the
+        fresh process must match outcome-for-outcome regardless of
+        thread interleaving.
+        """
+        plan = plan_of(
+            FaultRule(site="sched.attempt.kill", probability=0.5),
+            FaultRule(site="store.put.io", probability=0.5),
+            seed=99,
+        )
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(plan.dumps() + "\n")
+
+        specs = campaign_specs()
+        with armed(plan):
+            results = _run_specs(specs, "inline")
+        local = {
+            digest: [kind,
+                     canonical(payload) if kind == "ok"
+                     else type(payload).__name__]
+            for digest, (kind, payload) in results.items()
+        }
+
+        script = (
+            "import json, sys\n"
+            "from repro.faultline import FaultPlan\n"
+            "from repro.faultline.hooks import armed\n"
+            "from repro.faultline.campaign import (\n"
+            "    _run_specs, campaign_specs, canonical)\n"
+            "plan = FaultPlan.loads(open(sys.argv[1]).read())\n"
+            "with armed(plan):\n"
+            "    results = _run_specs(campaign_specs(), 'inline')\n"
+            "out = {d: [k, canonical(p) if k == 'ok' else type(p).__name__]\n"
+            "       for d, (k, p) in results.items()}\n"
+            "print(json.dumps(out, sort_keys=True))\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script, str(plan_path)],
+            capture_output=True, text=True, check=True,
+            env={"PYTHONPATH": SRC, "PATH": "/usr/bin:/bin"},
+        )
+        assert json.loads(proc.stdout) == local
+
+        # And the CI replay entry point agrees the invariant held.
+        replay = subprocess.run(
+            [sys.executable, str(Path(REPO) / "tools" / "chaos_sim.py"),
+             "--replay", str(plan_path)],
+            capture_output=True, text=True,
+            env={"PYTHONPATH": SRC, "PATH": "/usr/bin:/bin"},
+        )
+        assert replay.returncode == 0, replay.stdout + replay.stderr
+        assert "invariant held" in replay.stdout

@@ -152,6 +152,33 @@ class TestEdgeCases:
         rows = list(csv.reader(open(paths["counters"])))
         assert rows == [["ts_ns"]]
 
+    def test_counter_samples_only_trace_not_empty(self):
+        # Regression: a trace holding ONLY counter samples (no spans,
+        # no instants) must still export a non-empty Perfetto document
+        # with the counters process and one "C" event per sample/counter.
+        obs = Observer()
+        obs.register_counter("service.queue_depth", lambda now: now / 10.0)
+        obs.sample(10.0)
+        obs.sample(20.0)
+        doc = to_perfetto(obs)
+        phases = [e["ph"] for e in doc["traceEvents"]]
+        assert phases == ["M", "C", "C"]
+        meta = doc["traceEvents"][0]
+        assert meta["args"]["name"] == "counters"
+        values = [e["args"]["value"] for e in doc["traceEvents"][1:]]
+        assert values == [1.0, 2.0]
+
+    def test_samples_without_registered_counters_keep_track(self):
+        # Sampling before any counter is registered used to export
+        # {"traceEvents": []}; the counters track must be claimed
+        # whenever samples exist, even if they carry no columns.
+        obs = Observer()
+        obs.sample(5.0)
+        doc = to_perfetto(obs)
+        assert doc["traceEvents"], "counter-samples-only trace came out empty"
+        assert doc["traceEvents"][0]["ph"] == "M"
+        assert doc["traceEvents"][0]["args"]["name"] == "counters"
+
     def test_zero_barrier_program_export(self, tmp_path):
         # Counters registered but never sampled (no barriers reached):
         # header-only CSV, no "C" events, metadata rows only.

@@ -31,7 +31,9 @@ class TestCommonBehavior:
             assert "d1" in store
             assert len(store) == 1
             stats = store.stats()
-            assert stats == {"entries": 1, "hits": 1, "misses": 1, "puts": 1}
+            assert stats == {
+                "entries": 1, "hits": 1, "misses": 1, "puts": 1, "corrupt": 0,
+            }
             store.close()
 
     def test_last_write_wins(self, tmp_path):
