@@ -123,9 +123,13 @@ def measure_pair(
         "policies": [p.label for p in POLICIES],
         "fast_wall_s": round(fast_wall, 3),
         "ref_wall_s": round(ref_wall, 3),
-        "speedup": round(ref_wall / fast_wall, 3) if fast_wall else None,
+        # Never null: the trajectory is a machine-readable history, and
+        # downstream tooling (BENCH guards, plots) must not special-case
+        # missing fields.  A degenerate zero-wall run books speedup 1.0
+        # and zero throughput rather than poisoning the series.
+        "speedup": round(ref_wall / fast_wall, 3) if fast_wall else 1.0,
         "sim_accesses": accesses,
-        "accesses_per_s": int(accesses / fast_wall) if fast_wall else None,
+        "accesses_per_s": int(accesses / fast_wall) if fast_wall else 0,
         "identical": identical,
     }
 

@@ -106,6 +106,42 @@ def test_null_observer_overhead(benchmark):
     benchmark.pedantic(lambda: None, rounds=1)
 
 
+def test_metrics_off_overhead(benchmark):
+    """Ambient metrics registry absent: the engine stays within 3%.
+
+    The telemetry plane's engine instrumentation is one
+    ``metrics.active()`` check per run plus one per section — never per
+    access.  With no registry installed (the production default) the
+    whole run must stay within the same 3% budget of the seed loop the
+    NullObserver guard uses.  Guards the ambient fast path the same way
+    faultline's disarmed hooks are guarded.
+    """
+    from repro.obs import metrics as obs_metrics
+
+    assert obs_metrics.active() is None, "ambient registry leaked into bench"
+    null_times: list[float] = []
+    seed_times: list[float] = []
+    timed_run()
+    timed_run(engine_cls=SeedEngine)
+    _measure_pairs(REPS, seed_times, null_times)
+    if min(null_times) > min(seed_times) * (1 + OVERHEAD_BUDGET):
+        _measure_pairs(EXTRA_REPS, seed_times, null_times)
+    off, seed = min(null_times), min(seed_times)
+    overhead = off / seed - 1
+    # Informational: the same run with a registry actually installed.
+    with obs_metrics.installed(obs_metrics.MetricsRegistry()):
+        with_metrics = min(timed_run() for _ in range(3))
+    print(f"\n  seed loop        {seed * 1e3:8.1f} ms")
+    print(f"  metrics off      {off * 1e3:8.1f} ms  ({overhead:+.2%})")
+    print(f"  metrics on       {with_metrics * 1e3:8.1f} ms  "
+          f"({with_metrics / seed - 1:+.1%})")
+    assert off <= seed * (1 + OVERHEAD_BUDGET), (
+        f"metrics-off path is {overhead:.2%} slower than the "
+        f"uninstrumented loop (budget {OVERHEAD_BUDGET:.0%})"
+    )
+    benchmark.pedantic(lambda: None, rounds=1)
+
+
 def test_tracing_cost_reported(benchmark):
     """Informational: what turning the observer on actually costs."""
     base = min(timed_run() for _ in range(3))

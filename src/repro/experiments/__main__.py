@@ -63,7 +63,38 @@ def main(argv: list[str] | None = None) -> int:
                              "for the whole invocation (chaos replay: the "
                              "same plan JSON reproduces the same faults "
                              "bit-for-bit); an empty plan is a no-op")
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="install an ambient repro.obs metrics registry "
+                             "for the whole invocation and write the final "
+                             "snapshot to PATH (.prom for Prometheus text, "
+                             "anything else for the JSON snapshot)")
     args = parser.parse_args(argv)
+
+    registry = None
+    if args.metrics_out is not None:
+        from repro.obs import metrics as obs_metrics
+
+        registry = obs_metrics.MetricsRegistry()
+        obs_metrics.install(registry)
+
+    try:
+        return _run(args, registry)
+    finally:
+        if registry is not None:
+            from repro.obs import metrics as obs_metrics
+
+            snapshot = registry.snapshot()
+            path = Path(args.metrics_out)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            if path.suffix == ".prom":
+                path.write_text(obs_metrics.render_prometheus(snapshot))
+            else:
+                path.write_text(json.dumps(snapshot, indent=2, sort_keys=True))
+            print(f"metrics snapshot: {path}")
+            obs_metrics.uninstall()
+
+
+def _run(args, registry) -> int:
 
     if args.faultline is not None:
         from repro.faultline import FaultPlan, arm

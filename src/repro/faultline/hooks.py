@@ -20,6 +20,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 
 from repro.faultline.plan import NO_FAULTS, FaultInjector, FaultPlan, FaultRule
+from repro.obs import metrics as _obs_metrics
 
 #: The armed injector, or None (the fast path).  Read directly by hot
 #: call sites via :func:`should_fire`; written only by arm()/disarm().
@@ -61,7 +62,16 @@ def should_fire(site: str, scope: str) -> FaultRule | None:
     injector = _ACTIVE
     if injector is None:
         return None
-    return injector.check(site, scope)
+    rule = injector.check(site, scope)
+    if rule is not None:
+        # Book the injection in the ambient metrics registry (by site)
+        # so chaos campaigns show up on the service dashboard.  Firing
+        # is rare by construction; the disarmed fast path above is
+        # untouched.
+        registry = _obs_metrics.active()
+        if registry is not None:
+            registry.counter("faultline.injections", site=site).inc()
+    return rule
 
 
 @contextmanager

@@ -1,0 +1,53 @@
+"""Observability CLI: ``python -m repro.obs <command>``.
+
+Commands::
+
+    top     live terminal dashboard against a running service server
+            (``python -m repro.service serve``); polls the ``metrics``
+            and ``status`` ops and redraws every --interval seconds.
+            --once prints a single frame and exits (CI smoke mode).
+
+Examples::
+
+    python -m repro.service serve --port 7421 &
+    python -m repro.obs top --connect 127.0.0.1:7421
+    python -m repro.obs top --connect 127.0.0.1:7421 --once
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.obs.dashboard import run_top
+
+
+def _parse_connect(value: str) -> tuple[str, int]:
+    host, _, port = value.rpartition(":")
+    return host or "127.0.0.1", int(port)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.obs")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("top", help="live dashboard against a running server")
+    p.add_argument("--connect", required=True, metavar="HOST:PORT")
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="seconds between polls (default 2)")
+    p.add_argument("--once", action="store_true",
+                   help="print one frame and exit (no screen clearing)")
+    p.add_argument("--iterations", type=int, default=None,
+                   help="exit after N frames (default: run until ^C)")
+
+    args = parser.parse_args(argv)
+    host, port = _parse_connect(args.connect)
+    try:
+        return run_top(host, port, interval_s=args.interval,
+                       once=args.once, iterations=args.iterations)
+    except KeyboardInterrupt:
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

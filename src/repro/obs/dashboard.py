@@ -1,0 +1,230 @@
+"""Live terminal dashboard over a running simulation-job server.
+
+``python -m repro.obs top --connect HOST:PORT`` polls the line-JSON
+server's ``metrics`` and ``status`` ops and renders a compact
+service-health frame: job throughput (from counter deltas between two
+polls), attempt-latency quantiles (from the log-linear histograms),
+queue/breaker/store state, and per-op request latency.  Pure stdlib,
+ANSI-only; ``--once`` prints a single frame without clearing the
+screen (what the CI smoke test runs against a live demo server).
+
+The renderer works from *snapshots* (plain dicts), so tests drive it
+without a server: :func:`render_frame` is deterministic given its
+inputs.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.obs.metrics import (
+    quantile_from_snapshot,
+    snapshot_delta,
+)
+
+#: gauge value -> breaker state name (mirrors Scheduler._BREAKER_LEVELS).
+_BREAKER_NAMES = {0.0: "closed", 1.0: "half-open", 2.0: "open"}
+
+
+def merge_named_histograms(snapshot: dict, name: str) -> dict | None:
+    """Merge every label variant of histogram ``name`` into one dict.
+
+    Buckets and counts add; min/max widen.  Lets the dashboard show one
+    attempt-latency distribution across shards and outcomes.
+    """
+    merged: dict | None = None
+    for h in snapshot.get("histograms", ()):
+        if h["name"] != name or h.get("count", 0) == 0:
+            continue
+        if merged is None:
+            merged = {
+                "name": name, "labels": {}, "sub": h.get("sub", 16),
+                "count": 0, "sum": 0.0, "zero": 0,
+                "min": None, "max": None, "buckets": {},
+            }
+        merged["count"] += h["count"]
+        merged["sum"] += h["sum"]
+        merged["zero"] += h.get("zero", 0)
+        if h.get("min") is not None:
+            merged["min"] = (
+                h["min"] if merged["min"] is None
+                else min(merged["min"], h["min"])
+            )
+        if h.get("max") is not None:
+            merged["max"] = (
+                h["max"] if merged["max"] is None
+                else max(merged["max"], h["max"])
+            )
+        for k, v in h.get("buckets", {}).items():
+            merged["buckets"][k] = merged["buckets"].get(k, 0) + v
+    return merged
+
+
+def counter_total(snapshot: dict, name: str, **labels) -> float:
+    """Sum of every ``name`` counter matching the given label subset."""
+    total = 0.0
+    for c in snapshot.get("counters", ()):
+        if c["name"] != name:
+            continue
+        have = c.get("labels", {})
+        if all(have.get(k) == str(v) for k, v in labels.items()):
+            total += c["value"]
+    return total
+
+
+def _fmt_seconds(value: float | None) -> str:
+    if value is None:
+        return "    --"
+    if value < 1e-3:
+        return f"{value * 1e6:5.0f}u"
+    if value < 1.0:
+        return f"{value * 1e3:5.1f}m"
+    return f"{value:5.2f}s"
+
+
+def _latency_line(label: str, hist: dict | None) -> str:
+    if hist is None or hist.get("count", 0) == 0:
+        return f"  {label:<18} (no samples)"
+    p50 = quantile_from_snapshot(hist, 0.50)
+    p90 = quantile_from_snapshot(hist, 0.90)
+    p99 = quantile_from_snapshot(hist, 0.99)
+    mean = hist["sum"] / hist["count"]
+    return (f"  {label:<18} n={hist['count']:<7} "
+            f"p50={_fmt_seconds(p50)} p90={_fmt_seconds(p90)} "
+            f"p99={_fmt_seconds(p99)} mean={_fmt_seconds(mean)}")
+
+
+def render_frame(
+    snapshot: dict,
+    stats: dict | None = None,
+    previous: dict | None = None,
+    window_s: float | None = None,
+) -> str:
+    """Render one dashboard frame from a metrics snapshot.
+
+    ``previous``/``window_s`` enable rate lines (jobs/s between polls);
+    without them the frame shows lifetime totals only.
+    """
+    lines: list[str] = []
+    window = snapshot_delta(previous, snapshot) if previous else None
+
+    lines.append("repro service telemetry")
+    lines.append("=" * 64)
+
+    # ---- throughput -----------------------------------------------------
+    done_total = counter_total(snapshot, "sched.jobs", outcome="completed")
+    hits_total = counter_total(snapshot, "sched.jobs", outcome="cache_hit")
+    failed_total = counter_total(snapshot, "sched.jobs", outcome="failed")
+    submitted = counter_total(snapshot, "sched.submitted")
+    line = (f"  jobs: submitted={submitted:.0f} completed={done_total:.0f} "
+            f"cache_hit={hits_total:.0f} failed={failed_total:.0f}")
+    if window is not None and window_s:
+        done_w = counter_total(window, "sched.jobs", outcome="completed")
+        hit_w = counter_total(window, "sched.jobs", outcome="cache_hit")
+        line += f"   [{(done_w + hit_w) / window_s:6.1f} jobs/s]"
+    lines.append(line)
+    served = done_total + hits_total
+    if served > 0:
+        lines.append(f"  cache hit rate: {hits_total / served:.1%} "
+                     f"({hits_total:.0f}/{served:.0f} served)")
+
+    # ---- latency --------------------------------------------------------
+    lines.append("")
+    lines.append("latency (lifetime)")
+    lines.append(_latency_line(
+        "queue wait", merge_named_histograms(snapshot, "sched.queue_wait_s")))
+    lines.append(_latency_line(
+        "attempt", merge_named_histograms(snapshot, "sched.attempt_s")))
+    lines.append(_latency_line(
+        "server request", merge_named_histograms(snapshot, "server.request_s")))
+    lines.append(_latency_line(
+        "store get", merge_named_histograms(snapshot, "store.get_s")))
+
+    # ---- live state -----------------------------------------------------
+    lines.append("")
+    lines.append("live state")
+    depth = running = None
+    breakers = []
+    for g in snapshot.get("gauges", ()):
+        if g["name"] == "sched.queue_depth":
+            depth = g["value"]
+        elif g["name"] == "sched.running":
+            running = g["value"]
+        elif g["name"] == "sched.breaker_state":
+            shard = g.get("labels", {}).get("shard", "?")
+            breakers.append(
+                (shard, _BREAKER_NAMES.get(g["value"], str(g["value"])))
+            )
+    lines.append(f"  queue depth: {depth if depth is not None else '--'}   "
+                 f"running: {running if running is not None else '--'}")
+    if breakers:
+        rendered = " ".join(
+            f"s{shard}:{state}" for shard, state in sorted(breakers)
+        )
+        lines.append(f"  breakers: {rendered}")
+    retries = counter_total(snapshot, "sched.retries")
+    faults = counter_total(snapshot, "faultline.injections")
+    if retries or faults:
+        lines.append(f"  retries: {retries:.0f}   "
+                     f"faults injected: {faults:.0f}")
+
+    # ---- scheduler stats (from the status op) ---------------------------
+    if stats:
+        lines.append("")
+        lines.append(f"scheduler: shards={stats.get('shards', '?')} "
+                     f"executor={stats.get('executor', '?')}")
+        store = stats.get("store")
+        if store:
+            lines.append(f"  store: entries={store.get('entries', 0)} "
+                         f"hits={store.get('hits', 0)} "
+                         f"misses={store.get('misses', 0)} "
+                         f"corrupt={store.get('corrupt', 0)}")
+    return "\n".join(lines)
+
+
+def run_top(
+    host: str,
+    port: int,
+    interval_s: float = 2.0,
+    once: bool = False,
+    iterations: int | None = None,
+) -> int:
+    """Poll a running server and redraw the dashboard until interrupted.
+
+    Returns a process exit code (1 when the server is unreachable or
+    reports that telemetry is disabled on the first poll).
+    """
+    # Imported lazily: repro.service already imports repro.obs, and the
+    # dashboard is the one obs component that talks back to the service.
+    from repro.service.server import TransportError, request_sync
+
+    previous: dict | None = None
+    prev_at: float | None = None
+    drawn = 0
+    while True:
+        try:
+            metrics_resp = request_sync(host, port, {"op": "metrics"})
+            status_resp = request_sync(host, port, {"op": "status"})
+        except (TransportError, OSError) as exc:
+            print(f"repro.obs top: cannot reach {host}:{port}: {exc}")
+            return 1
+        if not metrics_resp.get("ok"):
+            print(f"repro.obs top: server refused metrics: "
+                  f"{metrics_resp.get('error')}")
+            return 1
+        snapshot = metrics_resp["metrics"]
+        now = time.monotonic()
+        frame = render_frame(
+            snapshot,
+            stats=status_resp.get("stats"),
+            previous=previous,
+            window_s=None if prev_at is None else now - prev_at,
+        )
+        if not once:
+            print("\x1b[2J\x1b[H", end="")
+        print(frame)
+        drawn += 1
+        if once or (iterations is not None and drawn >= iterations):
+            return 0
+        previous, prev_at = snapshot, now
+        time.sleep(interval_s)

@@ -166,11 +166,25 @@ class Observer(BaseObserver):
     def register_counter(self, name: str, fn: CounterFn) -> None:
         """Register a named counter/gauge callback (evaluated at samples).
 
-        Names must be unique — a duplicate almost always means one
-        observer was wired into two machines.
+        Re-registering an existing name *replaces* its callback in
+        place (same sample-row column, new closure) and records a debug
+        instant.  This is what makes observers reusable across machine
+        rebuilds: constructing a second :class:`~repro.service.Scheduler`
+        against the same observer, or re-running ``sweep()``, must
+        sample the *live* component — the old behavior (raising, or
+        silently stacking stale closures) left the ring buffer reading
+        freed state.
         """
         if name in self._counter_names:
-            raise ValueError(f"counter {name!r} already registered")
+            for i, (existing, _) in enumerate(self._counters):
+                if existing == name:
+                    self._counters[i] = (name, fn)
+                    break
+            self.instant(
+                "obs.counter.reregistered", self.now, track="obs",
+                args={"name": name},
+            )
+            return
         self._counter_names.add(name)
         self._counters.append((name, fn))
 

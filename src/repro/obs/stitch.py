@@ -1,0 +1,256 @@
+"""Cross-process trace stitching: collect span fragments, emit Perfetto.
+
+The simulator's original tracing (:class:`repro.obs.Observer`) records
+*simulated time* inside one process.  The service plane needs the other
+kind of trace: wall-clock spans from three OS processes — the client
+that submitted a job, the scheduler that queued and retried it, and the
+forked worker that ran it — stitched into one causal tree.
+
+The unit of exchange is a plain *span dict* (:func:`make_span`)::
+
+    {"name": "worker.attempt", "process": "worker", "pid": 4242,
+     "tid": 0, "begin_ns": <unix epoch ns>, "end_ns": <unix epoch ns>,
+     "trace_id": "...", "span_id": "...", "parent_span_id": "...",
+     "args": {...}}
+
+Timestamps are unix-epoch nanoseconds (``time.time_ns``): forked
+workers share the parent's clock, and remote clients on the same host
+agree to well under a millisecond, so one common timebase stitches
+without negotiation.  Causality never depends on the clock, though —
+parenting is carried by the ``trace_id``/``span_id``/``parent_span_id``
+chain (:mod:`repro.obs.tracectx`).
+
+:class:`TraceCollector` is the thread-safe accumulation point (one per
+service); worker fragments arrive over the scheduler's result pipe and
+client fragments over the TCP protocol's ``trace_push`` op.
+:func:`stitch_perfetto` renders everything collected as one Chrome
+``trace_event`` document: one track per (process, pid), events sorted
+so timestamps are monotonic per track, and flow arrows (``ph: s/f``)
+drawn along every cross-process parent edge so ui.perfetto.dev shows a
+job as a connected tree.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.obs.tracectx import TraceContext
+
+#: trace_event timestamps are expressed in microseconds.
+_NS_PER_US = 1000.0
+
+
+def make_span(
+    name: str,
+    process: str,
+    begin_ns: int,
+    end_ns: int,
+    ctx: TraceContext | None = None,
+    pid: int | None = None,
+    tid: int = 0,
+    args: dict[str, Any] | None = None,
+) -> dict:
+    """Build one completed span dict (the cross-process exchange unit)."""
+    span: dict[str, Any] = {
+        "name": name,
+        "process": process,
+        "pid": os.getpid() if pid is None else pid,
+        "tid": tid,
+        "begin_ns": int(begin_ns),
+        "end_ns": int(end_ns),
+    }
+    if ctx is not None:
+        span["trace_id"] = ctx.trace_id
+        span["span_id"] = ctx.span_id
+        if ctx.parent_span_id is not None:
+            span["parent_span_id"] = ctx.parent_span_id
+    if args:
+        span["args"] = args
+    return span
+
+
+def now_ns() -> int:
+    """Unix-epoch nanoseconds — the shared cross-process timebase."""
+    return time.time_ns()
+
+
+class TraceCollector:
+    """Thread-safe accumulation point for completed span dicts."""
+
+    def __init__(self, max_spans: int = 500_000) -> None:
+        self._lock = threading.Lock()
+        self._spans: list[dict] = []
+        self.max_spans = max_spans
+        self.dropped = 0
+
+    def add(self, span: dict) -> None:
+        with self._lock:
+            if len(self._spans) >= self.max_spans:
+                self.dropped += 1
+                return
+            self._spans.append(span)
+
+    def extend(self, spans: list[dict]) -> None:
+        for span in spans:
+            self.add(span)
+
+    def span(
+        self,
+        name: str,
+        process: str,
+        begin_ns: int,
+        end_ns: int,
+        ctx: TraceContext | None = None,
+        tid: int = 0,
+        args: dict[str, Any] | None = None,
+    ) -> dict:
+        """Build + record in one call; returns the span dict."""
+        record = make_span(name, process, begin_ns, end_ns, ctx=ctx,
+                           tid=tid, args=args)
+        self.add(record)
+        return record
+
+    def spans(self) -> list[dict]:
+        """Stable snapshot of everything collected so far."""
+        with self._lock:
+            return list(self._spans)
+
+    def clear(self) -> list[dict]:
+        """Drain: return all spans and reset the collector."""
+        with self._lock:
+            out = self._spans
+            self._spans = []
+            self.dropped = 0
+            return out
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+
+# ------------------------------------------------------------------- analysis
+def span_index(spans: list[dict]) -> dict[str, dict]:
+    """``span_id -> span`` for every span that carries an id."""
+    return {s["span_id"]: s for s in spans if "span_id" in s}
+
+
+def span_children(spans: list[dict]) -> dict[str | None, list[dict]]:
+    """``parent_span_id -> [children]`` (None keys the roots)."""
+    out: dict[str | None, list[dict]] = {}
+    for s in spans:
+        out.setdefault(s.get("parent_span_id"), []).append(s)
+    return out
+
+
+def trace_roots(spans: list[dict]) -> dict[str, list[dict]]:
+    """``trace_id -> [spans whose parent is absent from the collection]``.
+
+    A healthy stitched trace has exactly one root per trace_id; orphans
+    (parent id set but the parent span never arrived) also land here so
+    broken stitching is visible rather than silently dropped.
+    """
+    ids = set(span_index(spans))
+    out: dict[str, list[dict]] = {}
+    for s in spans:
+        if "trace_id" not in s:
+            continue
+        parent = s.get("parent_span_id")
+        if parent is None or parent not in ids:
+            out.setdefault(s["trace_id"], []).append(s)
+    return out
+
+
+# ------------------------------------------------------------------- perfetto
+def stitch_perfetto(spans: list[dict]) -> dict:
+    """Render collected spans as one Chrome ``trace_event`` document.
+
+    * one track (pid) per distinct ``(process, pid)`` pair, numbered in
+      first-appearance order after a global sort — track ids are unique
+      and event timestamps are monotonic per track;
+    * timestamps are rebased to the earliest span so the trace starts
+      near zero (epoch microseconds overflow the viewer's precision);
+    * every parent edge that crosses a track gets a flow arrow
+      (``ph: "s"`` at the parent, ``ph: "f"`` at the child), which is
+      how the Perfetto UI draws causality between processes.
+    """
+    ordered = sorted(
+        spans, key=lambda s: (s["begin_ns"], s["end_ns"], s["name"])
+    )
+    base_ns = ordered[0]["begin_ns"] if ordered else 0
+    tracks: dict[tuple[str, int], int] = {}
+    events: list[dict] = []
+    for s in ordered:
+        key = (s["process"], s["pid"])
+        if key not in tracks:
+            tracks[key] = len(tracks) + 1
+            events.append({
+                "ph": "M", "name": "process_name", "pid": tracks[key],
+                "tid": 0, "args": {"name": f"{key[0]} (pid {key[1]})"},
+            })
+    index = span_index(spans)
+    flow_id = 0
+    for s in ordered:
+        pid = tracks[(s["process"], s["pid"])]
+        ts = (s["begin_ns"] - base_ns) / _NS_PER_US
+        record = {
+            "ph": "X",
+            "name": s["name"],
+            "cat": s["process"],
+            "ts": ts,
+            "dur": (s["end_ns"] - s["begin_ns"]) / _NS_PER_US,
+            "pid": pid,
+            "tid": s.get("tid", 0),
+        }
+        args = dict(s.get("args") or {})
+        for key in ("trace_id", "span_id", "parent_span_id"):
+            if key in s:
+                args[key] = s[key]
+        if args:
+            record["args"] = args
+        events.append(record)
+        parent = index.get(s.get("parent_span_id"))
+        if parent is None:
+            continue
+        parent_track = tracks[(parent["process"], parent["pid"])]
+        if parent_track == pid:
+            continue  # same-track nesting needs no arrow
+        flow_id += 1
+        events.append({
+            "ph": "s", "id": flow_id, "name": "causes",
+            "cat": "stitch",
+            "ts": (parent["begin_ns"] - base_ns) / _NS_PER_US,
+            "pid": parent_track, "tid": parent.get("tid", 0),
+        })
+        events.append({
+            "ph": "f", "bp": "e", "id": flow_id, "name": "causes",
+            "cat": "stitch", "ts": ts, "pid": pid,
+            "tid": s.get("tid", 0),
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ns"}
+
+
+def write_stitched_perfetto(spans: list[dict], path: str) -> None:
+    """Write :func:`stitch_perfetto` output as a loadable JSON file."""
+    Path(path).write_text(json.dumps(stitch_perfetto(spans)))
+
+
+# ---------------------------------------------------------------------- JSONL
+def spans_to_jsonl(spans: list[dict]) -> str:
+    """One span dict per line (archival form; round-trips exactly)."""
+    lines = [json.dumps(s, sort_keys=True) for s in spans]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def spans_from_jsonl(text: str) -> list[dict]:
+    """Inverse of :func:`spans_to_jsonl`; skips blank lines."""
+    out = []
+    for line in text.splitlines():
+        line = line.strip()
+        if line:
+            out.append(json.loads(line))
+    return out

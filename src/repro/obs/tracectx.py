@@ -1,0 +1,71 @@
+"""Trace-context propagation: one causal id chain across processes.
+
+A :class:`TraceContext` names one node in a request's causal tree:
+``trace_id`` identifies the whole tree (one submitted job, end to end),
+``span_id`` this node, and ``parent_span_id`` the node that caused it.
+Contexts travel as plain dicts (:meth:`to_wire` / :meth:`from_wire`)
+through every transport the service already has — the line-JSON TCP
+protocol (a ``trace`` request field), the scheduler's in-memory job
+records, and the pickle pipe into forked workers — so a job's client
+span, scheduler attempt spans, and worker spans all share a
+``trace_id`` and parent correctly even though they are recorded in
+three different processes.
+
+Ids are 64-bit random hex.  They only need to be unique within a
+trace's lifetime, never secret or global.
+"""
+
+from __future__ import annotations
+
+import uuid
+from dataclasses import dataclass
+
+
+def _new_id() -> str:
+    return uuid.uuid4().hex[:16]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One node of a causal tree (immutable; derive children instead)."""
+
+    trace_id: str
+    span_id: str
+    parent_span_id: str | None = None
+
+    @classmethod
+    def root(cls) -> "TraceContext":
+        """Start a new trace (a fresh causal tree)."""
+        return cls(trace_id=_new_id(), span_id=_new_id(), parent_span_id=None)
+
+    def child(self) -> "TraceContext":
+        """A new node caused by this one (same trace, fresh span id)."""
+        return TraceContext(
+            trace_id=self.trace_id,
+            span_id=_new_id(),
+            parent_span_id=self.span_id,
+        )
+
+    # ---------------------------------------------------------------- wire
+    def to_wire(self) -> dict:
+        """Plain-dict form for JSON / pickle transports."""
+        out = {"trace_id": self.trace_id, "span_id": self.span_id}
+        if self.parent_span_id is not None:
+            out["parent_span_id"] = self.parent_span_id
+        return out
+
+    @classmethod
+    def from_wire(cls, data: dict | None) -> "TraceContext | None":
+        """Parse a wire dict; None (or a junk value) maps to None."""
+        if not isinstance(data, dict):
+            return None
+        trace_id = data.get("trace_id")
+        span_id = data.get("span_id")
+        if not isinstance(trace_id, str) or not isinstance(span_id, str):
+            return None
+        parent = data.get("parent_span_id")
+        return cls(
+            trace_id=trace_id,
+            span_id=span_id,
+            parent_span_id=parent if isinstance(parent, str) else None,
+        )

@@ -139,16 +139,35 @@ def cmd_drain(args) -> int:
 
 
 def cmd_serve(args) -> int:
+    from repro.obs import metrics as obs_metrics
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.stitch import TraceCollector
+
+    registry = None if args.no_telemetry else MetricsRegistry()
+    collector = None if args.no_telemetry else TraceCollector()
+    if registry is not None:
+        # Ambient install so engine/store/faultline instrumentation in
+        # this process (and fork-children via their own fresh registry)
+        # records without explicit plumbing.
+        obs_metrics.install(registry)
+
     async def _serve() -> None:
         with ServiceClient(store=args.store, shards=args.workers,
-                           executor=args.executor) as client:
+                           executor=args.executor, metrics=registry,
+                           traces=collector) as client:
             server = ServiceServer(client, host=args.host, port=args.port)
             await server.start()
+            telemetry = "off" if args.no_telemetry else "on"
             print(f"repro.service listening on {args.host}:{server.port} "
-                  f"(store={args.store or 'memory'}, shards={args.workers})")
+                  f"(store={args.store or 'memory'}, shards={args.workers}, "
+                  f"telemetry={telemetry})")
             await server.serve_forever()
 
-    asyncio.run(_serve())
+    try:
+        asyncio.run(_serve())
+    finally:
+        if registry is not None:
+            obs_metrics.uninstall()
     return 0
 
 
@@ -216,6 +235,8 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--workers", type=int, default=2)
     p.add_argument("--executor", default="process",
                    choices=["process", "inline"])
+    p.add_argument("--no-telemetry", action="store_true",
+                   help="disable the metrics registry and trace collector")
     p.set_defaults(fn=cmd_serve)
 
     args = parser.parse_args(argv)

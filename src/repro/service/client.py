@@ -10,6 +10,10 @@ from __future__ import annotations
 
 from repro.experiments.runner import RunRecord
 from repro.obs import NULL_OBSERVER, BaseObserver
+from repro.obs import metrics as obs_metrics
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.stitch import TraceCollector, now_ns, write_stitched_perfetto
+from repro.obs.tracectx import TraceContext
 from repro.service.jobs import JobSpec
 from repro.service.scheduler import JobHandle, Scheduler
 from repro.service.store import ResultStore, open_store
@@ -26,6 +30,13 @@ class ServiceClient:
             not closed by this one).
         shards / executor / queue_capacity / runner / observer /
             mp_context: forwarded to :class:`Scheduler`.
+        metrics: labeled metrics registry shared with the scheduler
+            (defaults to the process-ambient registry; None = off).
+        traces: :class:`~repro.obs.stitch.TraceCollector` for
+            cross-process span stitching; when set, every ``submit``
+            records a ``client.submit`` span whose context parents the
+            scheduler job and worker attempt spans.  Export the tree
+            with :meth:`export_trace`.
     """
 
     def __init__(
@@ -37,10 +48,14 @@ class ServiceClient:
         runner=execute_jobspec,
         observer: BaseObserver = NULL_OBSERVER,
         mp_context: str | None = None,
+        metrics: MetricsRegistry | None = None,
+        traces: TraceCollector | None = None,
         **scheduler_kwargs,
     ) -> None:
         self._owns_store = isinstance(store, str)
         self.store = None if store is None else open_store(store)
+        self.metrics = metrics if metrics is not None else obs_metrics.active()
+        self.traces = traces
         self.scheduler = Scheduler(
             store=self.store,
             shards=shards,
@@ -49,15 +64,37 @@ class ServiceClient:
             runner=runner,
             observer=observer,
             mp_context=mp_context,
+            metrics=self.metrics,
+            traces=traces,
             **scheduler_kwargs,
         )
 
     # ----------------------------------------------------------------- submit
     def submit(
-        self, spec: JobSpec, block: bool = True, timeout: float | None = None
+        self,
+        spec: JobSpec,
+        block: bool = True,
+        timeout: float | None = None,
+        trace: TraceContext | None = None,
     ) -> JobHandle:
-        """Submit one spec (see :meth:`Scheduler.submit`)."""
-        return self.scheduler.submit(spec, block=block, timeout=timeout)
+        """Submit one spec (see :meth:`Scheduler.submit`).
+
+        ``trace`` carries a remote submitter's context (e.g. the TCP
+        server's per-request span); without one, a fresh trace root is
+        minted per submission when tracing is on.
+        """
+        if self.traces is None:
+            return self.scheduler.submit(spec, block=block, timeout=timeout)
+        ctx = trace.child() if trace is not None else TraceContext.root()
+        begin = now_ns()
+        handle = self.scheduler.submit(
+            spec, block=block, timeout=timeout, trace=ctx
+        )
+        self.traces.span(
+            f"client.submit:{spec.label}", "client", begin, now_ns(),
+            ctx=ctx, args={"digest": handle.digest[:12]},
+        )
+        return handle
 
     def submit_many(self, specs: list[JobSpec]) -> list[JobHandle]:
         """Submit specs in order; returns handles in the same order."""
@@ -90,6 +127,23 @@ class ServiceClient:
     def stats(self) -> dict:
         """Scheduler + store counter snapshot."""
         return self.scheduler.stats()
+
+    def metrics_snapshot(self) -> dict | None:
+        """Labeled-metrics snapshot (None when metrics are off)."""
+        return None if self.metrics is None else self.metrics.snapshot()
+
+    def export_trace(self, path: str) -> int:
+        """Write the stitched Perfetto trace; returns the span count.
+
+        Stitches every span the collector holds — client submits,
+        scheduler jobs/attempts, and worker-side fragments shipped back
+        over the result pipes — into one ``trace_event`` JSON file.
+        """
+        if self.traces is None:
+            raise ValueError("client was built without a trace collector")
+        spans = self.traces.spans()
+        write_stitched_perfetto(spans, path)
+        return len(spans)
 
     def close(self) -> None:
         """Shut the scheduler down; close the store if this client opened it."""

@@ -62,6 +62,10 @@ from multiprocessing import connection as _mpc
 from repro.faultline import hooks as _fault_hooks
 from repro.faultline.faults import WorkerKillFault
 from repro.obs import NULL_OBSERVER, BaseObserver
+from repro.obs import metrics as obs_metrics
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.stitch import TraceCollector, now_ns
+from repro.obs.tracectx import TraceContext
 from repro.service.clock import SYSTEM_CLOCK, Clock
 from repro.service.jobs import JobSpec, JobStatus
 from repro.service.store import ResultStore
@@ -164,7 +168,7 @@ class _Job:
     __slots__ = (
         "spec", "digest", "seq", "shard", "status", "attempts", "result",
         "error", "from_cache", "cancel_requested", "done", "proc",
-        "failure_kind",
+        "failure_kind", "trace", "enqueued_ns",
     )
 
     def __init__(self, spec: JobSpec, digest: str, seq: int, shard: int) -> None:
@@ -181,6 +185,8 @@ class _Job:
         self.done = threading.Event()
         self.proc = None  # live child process while a process attempt runs
         self.failure_kind: str | None = None  # "circuit_open" for breaker fails
+        self.trace: TraceContext | None = None  # this job's span identity
+        self.enqueued_ns = 0  # unix-epoch ns at submit (queue-wait metric)
 
 
 class JobHandle:
@@ -285,6 +291,16 @@ class Scheduler:
             disables hedging).
         store_failure_limit: consecutive store errors before the store
             is demoted to miss-only for the scheduler's lifetime.
+        metrics: labeled :class:`~repro.obs.metrics.MetricsRegistry`
+            for queue-wait/attempt-latency histograms, retry/backoff
+            counters, and breaker-state gauges; defaults to the
+            process-ambient registry (None when metrics are off).
+            Worker children record into a fresh registry and their
+            snapshots merge here when their attempt reports.
+        traces: :class:`~repro.obs.stitch.TraceCollector` receiving
+            wall-clock span fragments (scheduler job/attempt spans and
+            the worker-side spans shipped back over the result pipe)
+            for cross-process stitching; None disables span recording.
     """
 
     def __init__(
@@ -304,6 +320,8 @@ class Scheduler:
         breaker_cooldown_s: float = 5.0,
         hedge_after_s: float | None = None,
         store_failure_limit: int = 3,
+        metrics: MetricsRegistry | None = None,
+        traces: TraceCollector | None = None,
     ) -> None:
         if shards < 1:
             raise ValueError("shards must be >= 1")
@@ -327,6 +345,8 @@ class Scheduler:
         self.clock = clock
         self.hedge_after_s = hedge_after_s
         self.store_failure_limit = store_failure_limit
+        self.metrics = metrics if metrics is not None else obs_metrics.active()
+        self.traces = traces
         if mp_context is None:
             mp_context = (
                 "fork" if "fork" in mp.get_all_start_methods() else "spawn"
@@ -475,6 +495,7 @@ class Scheduler:
         spec: JobSpec,
         block: bool = True,
         timeout: float | None = None,
+        trace: TraceContext | None = None,
     ) -> JobHandle:
         """Submit one job; returns immediately with a handle.
 
@@ -483,13 +504,24 @@ class Scheduler:
         (``force_run`` specs skip both).  Otherwise the job queues on
         its digest's shard, waiting for queue space per ``block``/
         ``timeout`` (:class:`BackpressureError` when exhausted).
+
+        ``trace`` is the submitter's trace context (from the client /
+        TCP server); the job's own spans become its children, so the
+        stitched trace keeps one causal tree per submission even across
+        process boundaries.
         """
         digest = spec.digest()
+        submitted_ns = now_ns()
+        job_ctx: TraceContext | None = None
+        if self.traces is not None:
+            job_ctx = trace.child() if trace is not None else TraceContext.root()
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._cv:
             if self._shutdown:
                 raise ServiceError("scheduler is shut down")
             self.counters["submitted"] += 1
+            if self.metrics is not None:
+                self.metrics.counter("sched.submitted").inc()
             if not spec.force_run:
                 if self.store is not None:
                     cached = self._store_get(digest)
@@ -500,11 +532,26 @@ class Scheduler:
                         job.result = cached
                         job.from_cache = True
                         job.done.set()
+                        if self.metrics is not None:
+                            self.metrics.counter(
+                                "sched.jobs", outcome="cache_hit"
+                            ).inc()
+                        if job_ctx is not None:
+                            self.traces.span(
+                                f"sched.job:{spec.label}", "scheduler",
+                                submitted_ns, now_ns(), ctx=job_ctx,
+                                args={"digest": digest[:12],
+                                      "from_cache": True},
+                            )
                         return JobHandle(job, self)
                     self.counters["cache_misses"] += 1
                 existing = self._inflight.get(digest)
                 if existing is not None:
                     self.counters["dedup_hits"] += 1
+                    if self.metrics is not None:
+                        self.metrics.counter(
+                            "sched.jobs", outcome="dedup"
+                        ).inc()
                     return JobHandle(existing, self)
             while self._queued >= self.queue_capacity:
                 if not block:
@@ -524,8 +571,12 @@ class Scheduler:
                     raise ServiceError("scheduler is shut down")
             shard = int(digest[:8], 16) % self.shards
             job = _Job(spec, digest, next(self._seq), shard)
+            job.trace = job_ctx
+            job.enqueued_ns = submitted_ns
             heapq.heappush(self._queues[shard], (-spec.priority, job.seq, job))
             self._queued += 1
+            if self.metrics is not None:
+                self.metrics.gauge("sched.queue_depth").set(self._queued)
             if not spec.force_run:
                 self._inflight[digest] = job
             self._cv.notify_all()
@@ -562,10 +613,20 @@ class Scheduler:
                 job.status = JobStatus.RUNNING
                 self._queued -= 1
                 self._running += 1
+                if self.metrics is not None:
+                    self.metrics.gauge("sched.queue_depth").set(self._queued)
+                    self.metrics.gauge("sched.running").set(self._running)
+                    self.metrics.histogram(
+                        "sched.queue_wait_s", shard=shard
+                    ).observe((now_ns() - job.enqueued_ns) / 1e9)
                 self._cv.notify_all()
                 allowed = self._breakers[shard].allow(self.clock.monotonic())
                 if not allowed:
                     self.counters["breaker_fast_fails"] += 1
+                    if self.metrics is not None:
+                        self.metrics.counter(
+                            "sched.breaker_fast_fails", shard=shard
+                        ).inc()
             if not allowed:
                 # Load shedding: the shard's breaker is open, fail fast
                 # with a typed error instead of burning the retry budget.
@@ -583,6 +644,8 @@ class Scheduler:
                 self._finalize(job, JobStatus.FAILED)
                 with self._cv:
                     self._running -= 1
+                    if self.metrics is not None:
+                        self.metrics.gauge("sched.running").set(self._running)
                     self._cv.notify_all()
                 continue
             try:
@@ -590,6 +653,8 @@ class Scheduler:
             finally:
                 with self._cv:
                     self._running -= 1
+                    if self.metrics is not None:
+                        self.metrics.gauge("sched.running").set(self._running)
                     self._cv.notify_all()
 
     def _run_with_retries(self, job: _Job, shard: int) -> None:
@@ -599,8 +664,13 @@ class Scheduler:
                 self._finalize(job, JobStatus.CANCELLED)
                 return
             begin_ns = self._now_ns()
+            attempt_ctx = (
+                job.trace.child() if job.trace is not None else None
+            )
             started = time.time()
-            outcome = self._execute_attempt(job, attempt)
+            attempt_begin = now_ns()
+            outcome = self._execute_attempt(job, attempt, attempt_ctx)
+            attempt_end = now_ns()
             record = {
                 "attempt": attempt,
                 "outcome": outcome[0],
@@ -615,6 +685,17 @@ class Scheduler:
                     track="service", tid=shard,
                     args={"digest": job.digest[:12], "attempt": attempt,
                           "outcome": outcome[0]},
+                )
+            if self.metrics is not None:
+                self.metrics.histogram(
+                    "sched.attempt_s", shard=shard, outcome=outcome[0]
+                ).observe((attempt_end - attempt_begin) / 1e9)
+            if attempt_ctx is not None:
+                self.traces.span(
+                    f"sched.attempt:{spec.label}", "scheduler",
+                    attempt_begin, attempt_end, ctx=attempt_ctx, tid=shard,
+                    args={"digest": job.digest[:12], "attempt": attempt,
+                          "outcome": outcome[0], "shard": shard},
                 )
             kind = outcome[0]
             if kind != "cancelled":
@@ -648,6 +729,9 @@ class Scheduler:
                 backoff = min(
                     self.backoff_base_s * (2 ** attempt), self.backoff_max_s
                 )
+                if self.metrics is not None:
+                    self.metrics.counter("sched.retries", reason=kind).inc()
+                    self.metrics.histogram("sched.backoff_s").observe(backoff)
                 # Sleep in poll-sized slices so cancellation stays prompt.
                 # Time flows through the injected clock: a FakeClock makes
                 # the whole backoff schedule virtual (and instant) in tests.
@@ -662,6 +746,9 @@ class Scheduler:
                     )
         self._finalize(job, JobStatus.FAILED)
 
+    #: gauge encoding of breaker states (dashboard renders the name).
+    _BREAKER_LEVELS = {"closed": 0.0, "half_open": 1.0, "open": 2.0}
+
     def _book_breaker(self, shard: int, ok: bool) -> None:
         """Feed one attempt outcome to the shard's circuit breaker."""
         now = self.clock.monotonic()
@@ -669,13 +756,41 @@ class Scheduler:
             transition = self._breakers[shard].record(ok, now)
             if transition == "open":
                 self.counters["breaker_opens"] += 1
+            state = self._breakers[shard].state
+        if self.metrics is not None:
+            self.metrics.gauge("sched.breaker_state", shard=shard).set(
+                self._BREAKER_LEVELS[state]
+            )
+            if transition is not None:
+                self.metrics.counter(
+                    "sched.breaker_transitions", to=("closed" if
+                    transition == "close" else "open"), shard=shard,
+                ).inc()
         if transition is not None and self.obs.enabled:
             self.obs.instant(
                 f"service.breaker.{transition}", self._now_ns(),
                 track="service", tid=shard, args={"shard": shard},
             )
 
-    def _execute_attempt(self, job: _Job, attempt: int) -> tuple:
+    def _absorb_aux(self, aux: dict | None) -> None:
+        """Fold a worker child's telemetry fragment into this process.
+
+        ``aux`` rides as the final element of the child's result-pipe
+        message: a metrics snapshot (merged additively) and the child's
+        completed wall-clock spans (appended to the collector), so the
+        fork boundary is invisible in the stitched trace and the
+        service-wide histograms.
+        """
+        if not aux:
+            return
+        if self.metrics is not None and aux.get("metrics"):
+            self.metrics.merge(aux["metrics"])
+        if self.traces is not None and aux.get("spans"):
+            self.traces.extend(aux["spans"])
+
+    def _execute_attempt(
+        self, job: _Job, attempt: int, ctx: TraceContext | None = None
+    ) -> tuple:
         """One attempt: ("ok", result) | ("err"|"crash"|"timeout", msg) |
         ("cancelled", msg)."""
         rule = _fault_hooks.should_fire(
@@ -689,26 +804,50 @@ class Scheduler:
                     "faultline: injected worker kill "
                     f"(attempt {attempt}, digest {job.digest[:12]})")
         if self.executor == "inline":
+            begin = now_ns()
             try:
                 apply_worker_faults(job.spec, in_child=False)
-                return ("ok", self.runner(job.spec))
+                result = self.runner(job.spec)
+                outcome = ("ok", result)
             except WorkerKillFault as exc:
-                return ("crash", f"faultline: {exc}")
+                outcome = ("crash", f"faultline: {exc}")
             except Exception as exc:  # noqa: BLE001 - booked as attempt outcome
-                return ("err", f"{type(exc).__name__}: {exc}")
-        return self._execute_in_process(job)
+                outcome = ("err", f"{type(exc).__name__}: {exc}")
+            if ctx is not None:
+                # Inline attempts run in the shard thread; the "worker"
+                # process track is logical, but the parent chain is the
+                # same one the forked executor produces.
+                self.traces.span(
+                    f"worker.attempt:{job.spec.label}", "worker",
+                    begin, now_ns(), ctx=ctx.child(),
+                    args={"executor": "inline", "outcome": outcome[0]},
+                )
+            return outcome
+        return self._execute_in_process(job, ctx)
 
-    def _spawn_lane(self, spec: JobSpec) -> list:
+    def _spawn_lane(self, spec: JobSpec, ctx: TraceContext | None) -> list:
         """Start one attempt child; returns ``[recv_conn, process]``."""
+        telemetry = None
+        if self.metrics is not None or self.traces is not None:
+            telemetry = {
+                "metrics": self.metrics is not None,
+                "trace": (
+                    ctx.to_wire()
+                    if ctx is not None and self.traces is not None else None
+                ),
+            }
         recv, send = self._mp.Pipe(duplex=False)
         proc = self._mp.Process(
-            target=child_main, args=(send, self.runner, spec), daemon=True
+            target=child_main, args=(send, self.runner, spec, telemetry),
+            daemon=True,
         )
         proc.start()
         send.close()
         return [recv, proc]
 
-    def _execute_in_process(self, job: _Job) -> tuple:
+    def _execute_in_process(
+        self, job: _Job, ctx: TraceContext | None = None
+    ) -> tuple:
         """Supervise one process attempt, hedging stragglers if enabled.
 
         With ``hedge_after_s`` set, a primary child that has not reported
@@ -716,7 +855,7 @@ class Scheduler:
         every other lane is terminated on the way out.
         """
         spec = job.spec
-        lanes = [self._spawn_lane(spec) + [False]]  # [recv, proc, is_hedge]
+        lanes = [self._spawn_lane(spec, ctx) + [False]]  # [recv, proc, is_hedge]
         job.proc = lanes[0][1]
         start = time.monotonic()
         deadline = None if spec.timeout_s is None else start + spec.timeout_s
@@ -745,7 +884,11 @@ class Scheduler:
                         with self._cv:
                             self.counters["hedge_wins"] += 1
                     if msg[0] == "ok":
+                        if len(msg) > 2:
+                            self._absorb_aux(msg[2])
                         return ("ok", msg[1])
+                    if len(msg) > 3:
+                        self._absorb_aux(msg[3])
                     return ("err", msg[1])
                 if job.cancel_requested:
                     return ("cancelled", "terminated on cancel request")
@@ -771,7 +914,7 @@ class Scheduler:
                     and len(lanes) == 1
                     and not lanes[0][2]
                 ):
-                    lanes.append(self._spawn_lane(spec) + [True])
+                    lanes.append(self._spawn_lane(spec, ctx) + [True])
                     with self._cv:
                         self.counters["hedges"] += 1
                     if self.obs.enabled:
@@ -802,6 +945,15 @@ class Scheduler:
             JobStatus.CANCELLED: "cancelled",
         }[status]
         self.counters[key] += 1
+        if self.metrics is not None:
+            self.metrics.counter("sched.jobs", outcome=key).inc()
+        if job.trace is not None and self.traces is not None:
+            self.traces.span(
+                f"sched.job:{job.spec.label}", "scheduler",
+                job.enqueued_ns or now_ns(), now_ns(), ctx=job.trace,
+                args={"digest": job.digest[:12], "status": key,
+                      "attempts": len(job.attempts)},
+            )
         job.done.set()
         self._cv.notify_all()
 

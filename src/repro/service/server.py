@@ -4,16 +4,29 @@ Protocol: one JSON object per line in each direction.  Requests carry
 an ``op`` plus op-specific fields; responses always carry ``ok`` and
 either the payload or an ``error`` string.
 
-=========  =======================================  =====================
-op         request fields                           response payload
-=========  =======================================  =====================
-ping       —                                        ``{"pong": true}``
-submit     ``spec`` (JobSpec JSON), ``wait`` bool   digest, status[, record]
-wait       ``digest``, optional ``timeout``         digest, status, record
-status     —                                        scheduler/store stats
-drain      optional ``timeout``                     drained bool + stats
-shutdown   —                                        ``{"stopping": true}``
-=========  =======================================  =====================
+==========  =======================================  =====================
+op          request fields                           response payload
+==========  =======================================  =====================
+ping        —                                        ``{"pong": true}``
+submit      ``spec`` (JobSpec JSON), ``wait`` bool,  digest, status[, record]
+            optional ``trace`` (wire trace context)
+wait        ``digest``, optional ``timeout``         digest, status, record
+status      —                                        scheduler/store stats
+metrics     optional ``format`` ("json" default,     metrics snapshot or
+            or "prometheus")                         Prometheus text
+trace       optional ``clear`` bool                  collected span dicts
+trace_push  ``spans`` (span-dict list)               accepted count
+drain       optional ``timeout``                     drained bool + stats
+shutdown    —                                        ``{"stopping": true}``
+==========  =======================================  =====================
+
+Telemetry crosses the wire in both directions: ``submit`` accepts the
+remote caller's trace context (the server's per-request span becomes
+its child, and the whole scheduler/worker span tree hangs below that),
+``trace_push`` lets a remote client contribute its own client-side
+spans, and ``trace`` hands the stitchable fragments back.  The server
+also books a ``server.request_s{op=...}`` latency histogram and
+request/byte counters per op into the client's metrics registry.
 
 Blocking scheduler calls run in worker threads (``asyncio.to_thread``),
 so one slow job never stalls the event loop or other connections.
@@ -33,6 +46,9 @@ import json
 import socket
 
 from repro.faultline import hooks as _fault_hooks
+from repro.obs.metrics import render_prometheus
+from repro.obs.stitch import now_ns
+from repro.obs.tracectx import TraceContext
 from repro.service.client import ServiceClient
 from repro.service.jobs import JobSpec
 from repro.service.scheduler import JobHandle, ServiceError
@@ -93,6 +109,7 @@ class ServiceServer:
                 if not line:
                     break
                 request: dict | None = None
+                t0 = now_ns()
                 try:
                     request = json.loads(line)
                     response = await self._dispatch(request)
@@ -105,11 +122,23 @@ class ServiceServer:
                         "error": f"{type(exc).__name__}: {exc}",
                     }
                 op = request.get("op") if isinstance(request, dict) else "?"
+                registry = self.client.metrics
+                if registry is not None:
+                    registry.histogram("server.request_s", op=str(op)).observe(
+                        (now_ns() - t0) / 1e9
+                    )
+                    registry.counter(
+                        "server.requests", op=str(op),
+                        ok=str(bool(response.get("ok"))).lower(),
+                    ).inc()
+                    registry.counter("server.bytes_in").inc(len(line))
                 scope = f"{op}#r{req_idx}"
                 req_idx += 1
                 if _fault_hooks.should_fire("server.conn.drop", scope):
                     break  # drop without responding; client sees a typed error
                 payload = (json.dumps(response) + "\n").encode()
+                if registry is not None:
+                    registry.counter("server.bytes_out").inc(len(payload))
                 if _fault_hooks.should_fire("server.write.partial", scope):
                     # Torn write: ship a prefix with no line terminator,
                     # then close — the client must refuse to parse it.
@@ -133,7 +162,21 @@ class ServiceServer:
             return {"ok": True, "pong": True}
         if op == "submit":
             spec = JobSpec.from_json(request["spec"])
-            handle = self.client.submit(spec)
+            srv_ctx = None
+            begin = now_ns()
+            if self.client.traces is not None:
+                remote = TraceContext.from_wire(request.get("trace"))
+                srv_ctx = (
+                    remote.child() if remote is not None
+                    else TraceContext.root()
+                )
+            handle = self.client.submit(spec, trace=srv_ctx)
+            if srv_ctx is not None:
+                self.client.traces.span(
+                    f"server.request:{spec.label}", "server",
+                    begin, now_ns(), ctx=srv_ctx,
+                    args={"op": "submit", "digest": handle.digest[:12]},
+                )
             self._handles[handle.digest] = handle
             out = {
                 "ok": True,
@@ -156,6 +199,28 @@ class ServiceServer:
             return await self._await_handle(handle, request.get("timeout"))
         if op == "status":
             return {"ok": True, "stats": self.client.stats()}
+        if op == "metrics":
+            snapshot = self.client.metrics_snapshot()
+            if snapshot is None:
+                return {"ok": False, "error": "metrics are not enabled"}
+            if request.get("format") == "prometheus":
+                return {"ok": True, "text": render_prometheus(snapshot)}
+            return {"ok": True, "metrics": snapshot}
+        if op == "trace":
+            if self.client.traces is None:
+                return {"ok": False, "error": "tracing is not enabled"}
+            spans = self.client.traces.spans()
+            if request.get("clear"):
+                self.client.traces.clear()
+            return {"ok": True, "spans": spans}
+        if op == "trace_push":
+            if self.client.traces is None:
+                return {"ok": False, "error": "tracing is not enabled"}
+            spans = request.get("spans") or []
+            if not isinstance(spans, list):
+                raise ValueError("trace_push spans must be a list")
+            self.client.traces.extend(spans)
+            return {"ok": True, "accepted": len(spans)}
         if op == "drain":
             drained = await asyncio.to_thread(
                 self.client.drain, request.get("timeout")

@@ -40,6 +40,7 @@ import time
 
 from repro.faultline import hooks as _fault_hooks
 from repro.faultline.faults import StoreIOFault
+from repro.obs import metrics as _obs_metrics
 from repro.sim.metrics import SCHEMA_VERSION
 
 
@@ -77,31 +78,45 @@ class ResultStore:
         rule = _fault_hooks.should_fire("store.get.io", digest[:12])
         if rule is not None:
             raise StoreIOFault("store.get.io", digest[:12], "simulated read error")
-        with self._lock:
-            entry = self._entries.get(digest)
-            if entry is None or entry.get("schema_version") != SCHEMA_VERSION:
-                self.misses += 1
-                return None
-            record = entry["record"]
-            expected = entry.get("record_sha")
-            if _fault_hooks.should_fire("store.get.corrupt", digest[:12]):
-                # Feed the integrity check a bit-flipped payload, exactly
-                # like a torn write or medium corruption would.
-                record = dict(record)
-                record["__faultline_corruption__"] = True
-                expected = expected or record_checksum(entry["record"])
-            if expected is not None and record_checksum(record) != expected:
-                self.corrupt += 1
-                self.misses += 1
-                return None
-            self.hits += 1
-            return record
+        registry = _obs_metrics.active()
+        t0 = time.perf_counter() if registry is not None else 0.0
+        result = "hit"
+        try:
+            with self._lock:
+                entry = self._entries.get(digest)
+                if entry is None or entry.get("schema_version") != SCHEMA_VERSION:
+                    self.misses += 1
+                    result = "miss"
+                    return None
+                record = entry["record"]
+                expected = entry.get("record_sha")
+                if _fault_hooks.should_fire("store.get.corrupt", digest[:12]):
+                    # Feed the integrity check a bit-flipped payload, exactly
+                    # like a torn write or medium corruption would.
+                    record = dict(record)
+                    record["__faultline_corruption__"] = True
+                    expected = expected or record_checksum(entry["record"])
+                if expected is not None and record_checksum(record) != expected:
+                    self.corrupt += 1
+                    self.misses += 1
+                    result = "corrupt"
+                    return None
+                self.hits += 1
+                return record
+        finally:
+            if registry is not None:
+                registry.histogram("store.get_s", result=result).observe(
+                    time.perf_counter() - t0
+                )
+                registry.counter("store.ops", op="get", result=result).inc()
 
     def put(self, digest: str, spec: dict, record: dict) -> None:
         """Store ``record`` (a ``RunRecord.to_json()`` dict) under ``digest``."""
         rule = _fault_hooks.should_fire("store.put.io", digest[:12])
         if rule is not None:
             raise StoreIOFault("store.put.io", digest[:12], "simulated write error")
+        registry = _obs_metrics.active()
+        t0 = time.perf_counter() if registry is not None else 0.0
         entry = {
             "digest": digest,
             "schema_version": SCHEMA_VERSION,
@@ -114,6 +129,11 @@ class ResultStore:
             self._entries[digest] = entry
             self._persist(entry)
             self.puts += 1
+        if registry is not None:
+            registry.histogram("store.put_s").observe(
+                time.perf_counter() - t0
+            )
+            registry.counter("store.ops", op="put", result="ok").inc()
 
     def __len__(self) -> int:
         with self._lock:

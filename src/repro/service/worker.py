@@ -24,6 +24,10 @@ from repro.faultline import hooks as _fault_hooks
 from repro.faultline.faults import WorkerKillFault
 from repro.faultline.plan import DEFAULT_HANG_S, DEFAULT_SLOW_START_S
 from repro.obs import NULL_OBSERVER, BaseObserver, Observer, export_run
+from repro.obs import metrics as obs_metrics
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.stitch import make_span, now_ns
+from repro.obs.tracectx import TraceContext
 from repro.service.jobs import JobSpec
 
 
@@ -83,19 +87,59 @@ def execute_jobspec(spec: JobSpec) -> dict:
     return record.to_json()
 
 
-def child_main(conn, runner, spec: JobSpec) -> None:
+def child_main(conn, runner, spec: JobSpec, telemetry: dict | None = None) -> None:
     """Child-process body: run ``runner(spec)``, send the outcome, exit.
 
     Sends ``("ok", result)`` or ``("err", "Type: msg", traceback)``.
     If the child dies before sending anything the parent sees EOF and
     books a crash.
+
+    With ``telemetry`` (``{"metrics": bool, "trace": wire-ctx|None}``)
+    the child installs a fresh ambient
+    :class:`~repro.obs.metrics.MetricsRegistry` so engine/store
+    instrumentation records locally, wraps the run in a
+    ``worker.attempt`` span parented on the scheduler's attempt context,
+    and appends the fragment — ``{"metrics": snapshot, "spans": [...],
+    "pid": ...}`` — as one extra element on the result message.  The
+    parent merges the snapshot and extends its trace collector, so the
+    fork boundary disappears from the stitched output.  ``None`` keeps
+    the original message shapes (and zero overhead) exactly.
     """
+    if telemetry is None:
+        try:
+            apply_worker_faults(spec, in_child=True)
+            result = runner(spec)
+            conn.send(("ok", result))
+        except BaseException as exc:  # noqa: BLE001 - must report, not die silent
+            conn.send(("err", f"{type(exc).__name__}: {exc}",
+                       traceback.format_exc()))
+        finally:
+            conn.close()
+        return
+    registry = MetricsRegistry() if telemetry.get("metrics") else None
+    if registry is not None:
+        obs_metrics.install(registry)
+    ctx = TraceContext.from_wire(telemetry.get("trace"))
+    begin_ns = now_ns()
+
+    def _aux(outcome: str) -> dict:
+        aux: dict = {"pid": os.getpid()}
+        if registry is not None:
+            aux["metrics"] = registry.snapshot()
+        if ctx is not None:
+            aux["spans"] = [make_span(
+                f"worker.attempt:{spec.label}", "worker",
+                begin_ns, now_ns(), ctx=ctx.child(), pid=os.getpid(),
+                args={"executor": "process", "outcome": outcome},
+            )]
+        return aux
+
     try:
         apply_worker_faults(spec, in_child=True)
         result = runner(spec)
-        conn.send(("ok", result))
+        conn.send(("ok", result, _aux("ok")))
     except BaseException as exc:  # noqa: BLE001 - must report, not die silent
         conn.send(("err", f"{type(exc).__name__}: {exc}",
-                   traceback.format_exc()))
+                   traceback.format_exc(), _aux("err")))
     finally:
         conn.close()

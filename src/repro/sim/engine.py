@@ -11,7 +11,10 @@ keeps the interleaving deterministic for a given program.
 from __future__ import annotations
 
 import heapq
+import time
 from dataclasses import dataclass
+
+from repro.obs import metrics as obs_metrics
 
 from repro.cache.cache import _ABSENT
 from repro.cache.hierarchy import CacheHierarchy, CacheTiming, MemoryLevel
@@ -107,6 +110,13 @@ class Engine:
         ]
         obs = self.observer
         tracing = obs.enabled
+        # Ambient labeled metrics (repro.obs.metrics): one check per run
+        # and a few observations per *section* — never per access, so
+        # the metrics-off path stays inside the ≤3% overhead budget
+        # (benchmarks/test_obs_overhead.py) and the metrics-on path adds
+        # only section-granularity work.
+        mreg = obs_metrics.active()
+        host_t0 = time.perf_counter() if mreg is not None else 0.0
         if tracing:
             obs.instant(
                 "run.begin", 0.0, track="engine",
@@ -155,12 +165,26 @@ class Engine:
                 obs.span_end(section_end, track="engine",
                              args={"idle": sm.idle, "faults": sm.faults})
                 obs.checkpoint(label, section_end)
+            if mreg is not None:
+                mreg.histogram(
+                    "engine.section_ns", kind=section.kind
+                ).observe(section_end - wall)
             metrics.sections.append(sm)
             wall = section_end
         metrics.runtime = wall
         metrics.dram = self.memory.dram.stats
         metrics.cache = self.memory.hierarchy.level_stats()
         obs.finish(wall)
+        if mreg is not None:
+            host_wall = time.perf_counter() - host_t0
+            accesses = sum(t.accesses for t in metrics.threads)
+            mreg.counter("engine.runs").inc()
+            mreg.counter("engine.accesses").inc(accesses)
+            mreg.histogram("engine.run_host_s").observe(host_wall)
+            if host_wall > 0:
+                mreg.histogram("engine.accesses_per_s").observe(
+                    accesses / host_wall
+                )
         return metrics
 
     # ------------------------------------------------------------------ section

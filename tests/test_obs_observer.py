@@ -90,11 +90,41 @@ class TestCounters:
         obs.register_counter("a", lambda now: 2)
         assert obs.counter_names == ["b", "a"]
 
-    def test_duplicate_name_rejected(self):
+    def test_duplicate_name_replaces_in_place(self):
+        """Re-registration swaps the callback, keeps the column order,
+        and records a debug instant (regression: used to raise, which
+        broke rebuilding a component against a long-lived observer)."""
         obs = Observer()
         obs.register_counter("x", lambda now: 1)
-        with pytest.raises(ValueError):
-            obs.register_counter("x", lambda now: 2)
+        obs.register_counter("y", lambda now: 10)
+        obs.register_counter("x", lambda now: 2)
+        assert obs.counter_names == ["x", "y"]  # order preserved
+        obs.sample(0.0)
+        assert obs.samples.last()[1] == [2, 10]  # new closure sampled
+        instants = [e for e in obs.events
+                    if getattr(e, "name", "") == "obs.counter.reregistered"]
+        assert len(instants) == 1
+        assert instants[0].args == {"name": "x"}
+
+    def test_reregistration_across_component_rebuilds(self):
+        """Two schedulers sharing one observer must both register their
+        counters; the second rebuild samples the live component."""
+        from repro.service.scheduler import Scheduler
+
+        obs = Observer()
+        with Scheduler(shards=1, executor="inline",
+                       runner=lambda spec: {"ok": 1}, observer=obs):
+            pass
+        # Second machine against the same observer: replaces, not raises.
+        with Scheduler(shards=1, executor="inline",
+                       runner=lambda spec: {"ok": 1}, observer=obs) as sched2:
+            from repro.service.jobs import JobSpec
+
+            sched2.submit(JobSpec(bench="lbm", policy="buddy",
+                                  config="c")).wait(10)
+            obs.sample(1.0)
+        row = dict(zip(obs.counter_names, obs.samples.last()[1]))
+        assert row["service.submitted"] == 1.0  # live scheduler, not stale
 
     def test_sampling_cadence(self):
         """maybe_sample only fires once per interval of sim time."""

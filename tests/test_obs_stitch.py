@@ -1,0 +1,152 @@
+"""Unit tests for trace contexts and cross-process stitching."""
+
+import json
+
+from repro.obs.stitch import (
+    TraceCollector,
+    make_span,
+    now_ns,
+    span_children,
+    span_index,
+    spans_from_jsonl,
+    spans_to_jsonl,
+    stitch_perfetto,
+    trace_roots,
+)
+from repro.obs.tracectx import TraceContext
+
+
+class TestTraceContext:
+    def test_root_and_child_chain(self):
+        root = TraceContext.root()
+        child = root.child()
+        grand = child.child()
+        assert child.trace_id == root.trace_id == grand.trace_id
+        assert child.parent_span_id == root.span_id
+        assert grand.parent_span_id == child.span_id
+        assert len({root.span_id, child.span_id, grand.span_id}) == 3
+
+    def test_wire_roundtrip(self):
+        ctx = TraceContext.root().child()
+        assert TraceContext.from_wire(ctx.to_wire()) == ctx
+
+    def test_from_wire_tolerates_junk(self):
+        assert TraceContext.from_wire(None) is None
+        assert TraceContext.from_wire("nonsense") is None
+        assert TraceContext.from_wire({}) is None
+        assert TraceContext.from_wire({"trace_id": "t"}) is None
+
+
+def _tree(n_jobs: int = 3) -> list[dict]:
+    """Synthesize an n-job three-process span forest like the service's."""
+    spans = []
+    t = now_ns()
+    for i in range(n_jobs):
+        client = TraceContext.root()
+        job = client.child()
+        attempt = job.child()
+        worker = attempt.child()
+        base = t + i * 1_000_000
+        spans.append(make_span("client.submit", "client", base, base + 900_000,
+                               ctx=client, pid=100))
+        spans.append(make_span("sched.job", "scheduler", base + 10_000,
+                               base + 880_000, ctx=job, pid=200))
+        spans.append(make_span("sched.attempt", "scheduler", base + 20_000,
+                               base + 870_000, ctx=attempt, pid=200, tid=i))
+        spans.append(make_span("worker.attempt", "worker", base + 30_000,
+                               base + 860_000, ctx=worker, pid=300 + i))
+    return spans
+
+
+class TestCollector:
+    def test_add_extend_clear(self):
+        col = TraceCollector()
+        col.span("a", "p", 0, 10)
+        col.extend([make_span("b", "p", 5, 15)])
+        assert len(col) == 2
+        drained = col.clear()
+        assert len(drained) == 2 and len(col) == 0
+
+    def test_bounded_with_drop_count(self):
+        col = TraceCollector(max_spans=2)
+        for i in range(5):
+            col.span(f"s{i}", "p", i, i + 1)
+        assert len(col) == 2 and col.dropped == 3
+
+
+class TestAnalysis:
+    def test_one_root_per_trace(self):
+        spans = _tree(4)
+        roots = trace_roots(spans)
+        assert len(roots) == 4
+        assert all(len(r) == 1 for r in roots.values())
+        assert all(r[0]["name"] == "client.submit" for r in roots.values())
+
+    def test_orphans_are_visible(self):
+        spans = _tree(1)
+        spans = [s for s in spans if s["name"] != "sched.job"]  # lose a link
+        roots = trace_roots(spans)
+        (members,) = roots.values()
+        names = {m["name"] for m in members}
+        assert "client.submit" in names and "sched.attempt" in names
+
+    def test_children_index(self):
+        spans = _tree(1)
+        idx = span_index(spans)
+        kids = span_children(spans)
+        attempt = next(s for s in spans if s["name"] == "sched.attempt")
+        (worker,) = kids[attempt["span_id"]]
+        assert worker["name"] == "worker.attempt"
+        assert idx[worker["parent_span_id"]] is attempt
+
+
+class TestPerfetto:
+    def test_empty_input(self):
+        doc = stitch_perfetto([])
+        assert doc["traceEvents"] == []
+
+    def test_track_ids_unique_and_ts_monotonic(self):
+        doc = stitch_perfetto(_tree(5))
+        events = doc["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        pids = [e["pid"] for e in meta]
+        assert len(pids) == len(set(pids))  # unique track ids
+        # 3 logical processes; workers get one track per pid
+        assert len(pids) == 2 + 5
+        per_track: dict[int, list[float]] = {}
+        for e in events:
+            if e["ph"] == "X":
+                per_track.setdefault(e["pid"], []).append(e["ts"])
+        for ts_list in per_track.values():
+            assert ts_list == sorted(ts_list)  # monotonic per track
+        # rebased: starts near zero, not epoch microseconds
+        assert min(ts for lst in per_track.values() for ts in lst) == 0.0
+
+    def test_flow_arrows_on_cross_process_edges(self):
+        doc = stitch_perfetto(_tree(2))
+        events = doc["traceEvents"]
+        starts = [e for e in events if e["ph"] == "s"]
+        finishes = [e for e in events if e["ph"] == "f"]
+        # per job: client->sched, sched->worker cross-track edges
+        # (sched.job -> sched.attempt shares a track: no arrow)
+        assert len(starts) == len(finishes) == 4
+        assert {e["id"] for e in starts} == {e["id"] for e in finishes}
+
+    def test_json_serializable_and_args_carry_ids(self):
+        doc = stitch_perfetto(_tree(1))
+        text = json.dumps(doc)
+        loaded = json.loads(text)
+        worker = next(e for e in loaded["traceEvents"]
+                      if e.get("name") == "worker.attempt")
+        assert "trace_id" in worker["args"]
+        assert "parent_span_id" in worker["args"]
+
+
+class TestJsonl:
+    def test_roundtrip(self):
+        spans = _tree(2)
+        assert spans_from_jsonl(spans_to_jsonl(spans)) == spans
+
+    def test_empty(self):
+        assert spans_to_jsonl([]) == ""
+        assert spans_from_jsonl("") == []

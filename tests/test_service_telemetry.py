@@ -1,0 +1,254 @@
+"""Acceptance tests for the service telemetry plane.
+
+The headline scenario mirrors the PR's acceptance criterion: a
+chaos-free drain of >= 50 jobs through a 4-shard scheduler yields one
+stitched Perfetto trace with correct cross-process parenting per job,
+and throughput/latency/cache numbers computed from the histogram
+registry (not from ad-hoc timers).
+"""
+
+import json
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.dashboard import counter_total, merge_named_histograms, render_frame
+from repro.obs.metrics import MetricsRegistry, find_metric, quantile_from_snapshot
+from repro.obs.stitch import TraceCollector, span_index, stitch_perfetto, trace_roots
+from repro.obs.tracectx import TraceContext
+from repro.service.client import ServiceClient
+from repro.service.jobs import JobSpec
+from repro.service.scheduler import Scheduler
+
+
+def _trivial_runner(spec: JobSpec) -> dict:
+    """Module-level (fork/pickle-safe) runner: no simulation, just echo."""
+    return {"label": spec.label, "rep": spec.rep}
+
+
+def _failing_runner(spec: JobSpec) -> dict:
+    raise RuntimeError("boom")
+
+
+def _specs(n: int) -> list[JobSpec]:
+    return [
+        JobSpec(bench=f"b{i % 13}", policy="buddy", config="cfg",
+                rep=i // 13, profile="mini")
+        for i in range(n)
+    ]
+
+
+class TestStitchedDrain:
+    """The acceptance drain: 56 jobs, 4 shards, process executor."""
+
+    @pytest.fixture(scope="class")
+    def drained(self):
+        registry = MetricsRegistry()
+        collector = TraceCollector()
+        specs = _specs(56)
+        with ServiceClient(store=":memory:", shards=4, executor="process",
+                           runner=_trivial_runner, metrics=registry,
+                           traces=collector) as client:
+            handles = client.submit_many(specs)
+            for h in handles:
+                h.result(timeout=120)
+            assert client.drain(timeout=60)
+        return registry.snapshot(), collector.spans()
+
+    def test_every_job_stitches_one_tree(self, drained):
+        _, spans = drained
+        roots = trace_roots(spans)
+        assert len(roots) == 56
+        assert all(len(r) == 1 for r in roots.values())
+        assert all(r[0]["name"].startswith("client.submit")
+                   for r in roots.values())
+
+    def test_cross_process_parenting_chain(self, drained):
+        _, spans = drained
+        index = span_index(spans)
+        want = {"sched.job": "client.submit",
+                "sched.attempt": "sched.job",
+                "worker.attempt": "sched.attempt"}
+        seen = {k: 0 for k in want}
+        for span in spans:
+            kind = span["name"].split(":")[0]
+            if kind not in want:
+                continue
+            parent = index[span["parent_span_id"]]
+            assert parent["name"].split(":")[0] == want[kind], span["name"]
+            assert parent["trace_id"] == span["trace_id"]
+            seen[kind] += 1
+        assert all(count == 56 for count in seen.values()), seen
+
+    def test_worker_spans_crossed_the_fork(self, drained):
+        _, spans = drained
+        parent_pids = {s["pid"] for s in spans
+                       if s["name"].startswith("sched.")}
+        worker_pids = {s["pid"] for s in spans
+                       if s["name"].startswith("worker.attempt")}
+        assert parent_pids.isdisjoint(worker_pids)  # genuinely other processes
+
+    def test_perfetto_output_is_valid(self, drained):
+        _, spans = drained
+        doc = stitch_perfetto(spans)
+        json.dumps(doc)  # serializable
+        meta_pids = [e["pid"] for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert len(meta_pids) == len(set(meta_pids))
+        per_track: dict[int, list[float]] = {}
+        for e in doc["traceEvents"]:
+            if e["ph"] == "X":
+                per_track.setdefault(e["pid"], []).append(e["ts"])
+        for ts in per_track.values():
+            assert ts == sorted(ts)
+
+    def test_metrics_computed_from_histogram_registry(self, drained):
+        snapshot, _ = drained
+        assert find_metric(snapshot, "counters", "sched.jobs",
+                           outcome="completed")["value"] == 56
+        attempt = merge_named_histograms(snapshot, "sched.attempt_s")
+        assert attempt["count"] == 56
+        p50 = quantile_from_snapshot(attempt, 0.50)
+        p99 = quantile_from_snapshot(attempt, 0.99)
+        assert 0 < p50 <= p99
+        wait = merge_named_histograms(snapshot, "sched.queue_wait_s")
+        assert wait["count"] == 56
+        # per-shard labels stayed bounded: one wait histogram per shard
+        shards = {h["labels"].get("shard")
+                  for h in snapshot["histograms"]
+                  if h["name"] == "sched.queue_wait_s"}
+        assert shards <= {"0", "1", "2", "3"} and len(shards) >= 2
+
+    def test_dashboard_renders_the_drain(self, drained):
+        snapshot, _ = drained
+        frame = render_frame(snapshot, stats={"shards": 4,
+                                              "executor": "process"})
+        assert "completed=56" in frame
+        assert "attempt" in frame and "p99=" in frame
+
+
+class TestCacheAndDedupOutcomes:
+    def test_cache_hits_counted_and_spanned(self):
+        registry = MetricsRegistry()
+        collector = TraceCollector()
+        spec = JobSpec(bench="b", policy="buddy", config="cfg")
+        with ServiceClient(store=":memory:", shards=1, executor="inline",
+                           runner=_trivial_runner, metrics=registry,
+                           traces=collector) as client:
+            client.submit(spec).result(timeout=30)
+            handle = client.submit(spec)
+            assert handle.from_cache
+            handle.result(timeout=30)
+        snap = registry.snapshot()
+        assert find_metric(snap, "counters", "sched.jobs",
+                           outcome="cache_hit")["value"] == 1
+        assert find_metric(snap, "counters", "sched.jobs",
+                           outcome="completed")["value"] == 1
+        hits = [s for s in collector.spans()
+                if s["name"].startswith("sched.job")
+                and (s.get("args") or {}).get("from_cache")]
+        assert len(hits) == 1
+
+    def test_store_latency_recorded_via_ambient(self):
+        spec = JobSpec(bench="b", policy="buddy", config="cfg")
+        with obs_metrics.installed(MetricsRegistry()) as registry:
+            with ServiceClient(store=":memory:", shards=1, executor="inline",
+                               runner=_trivial_runner) as client:
+                client.submit(spec).result(timeout=30)
+                client.submit(spec).result(timeout=30)
+        snap = registry.snapshot()
+        assert find_metric(snap, "histograms", "store.get_s",
+                           result="hit")["count"] == 1
+        assert find_metric(snap, "histograms", "store.get_s",
+                           result="miss")["count"] == 1
+        assert find_metric(snap, "histograms", "store.put_s")["count"] == 1
+
+
+class TestFailurePathMetrics:
+    def test_retries_and_failed_outcome(self):
+        registry = MetricsRegistry()
+        with Scheduler(shards=1, executor="inline", runner=_failing_runner,
+                       metrics=registry, breaker_threshold=None) as sched:
+            spec = JobSpec(bench="b", policy="buddy", config="cfg",
+                           max_retries=2)
+            handle = sched.submit(spec)
+            handle.wait(30)
+        snap = registry.snapshot()
+        assert find_metric(snap, "counters", "sched.retries",
+                           reason="err")["value"] == 2
+        assert find_metric(snap, "counters", "sched.jobs",
+                           outcome="failed")["value"] == 1
+        assert find_metric(snap, "histograms", "sched.backoff_s")["count"] == 2
+        attempts = merge_named_histograms(snap, "sched.attempt_s")
+        assert attempts["count"] == 3
+
+    def test_breaker_state_gauge_tracks_open(self):
+        registry = MetricsRegistry()
+        with Scheduler(shards=1, executor="inline", runner=_failing_runner,
+                       metrics=registry, breaker_threshold=2,
+                       breaker_cooldown_s=60.0) as sched:
+            for i in range(2):
+                sched.submit(JobSpec(bench=f"b{i}", policy="buddy",
+                                     config="cfg", max_retries=0)).wait(30)
+        snap = registry.snapshot()
+        assert find_metric(snap, "gauges", "sched.breaker_state",
+                           shard=0)["value"] == 2.0  # open
+        assert find_metric(snap, "counters", "sched.breaker_transitions",
+                           to="open", shard=0)["value"] == 1
+
+    def test_inline_worker_span_still_parented(self):
+        collector = TraceCollector()
+        with Scheduler(shards=1, executor="inline", runner=_trivial_runner,
+                       traces=collector) as sched:
+            sched.submit(JobSpec(bench="b", policy="buddy",
+                                 config="cfg")).result(timeout=30)
+        spans = collector.spans()
+        index = span_index(spans)
+        worker = next(s for s in spans
+                      if s["name"].startswith("worker.attempt"))
+        assert index[worker["parent_span_id"]]["name"].startswith(
+            "sched.attempt")
+
+
+class TestTelemetryOff:
+    def test_no_metrics_no_traces_no_aux(self):
+        """metrics=None + traces=None keeps the legacy message shapes and
+        records nothing anywhere (the zero-overhead discipline)."""
+        assert obs_metrics.active() is None
+        with ServiceClient(store=":memory:", shards=2, executor="process",
+                           runner=_trivial_runner) as client:
+            handles = client.submit_many(_specs(4))
+            for h in handles:
+                h.result(timeout=60)
+            assert client.scheduler.metrics is None
+            assert client.scheduler.traces is None
+
+    def test_submit_trace_kwarg_ignored_when_off(self):
+        with Scheduler(shards=1, executor="inline",
+                       runner=_trivial_runner) as sched:
+            handle = sched.submit(
+                JobSpec(bench="b", policy="buddy", config="cfg"),
+                trace=TraceContext.root(),
+            )
+            assert handle.result(timeout=30)["label"]
+
+
+class TestDashboardHelpers:
+    def test_counter_total_sums_label_variants(self):
+        reg = MetricsRegistry()
+        reg.counter("sched.jobs", outcome="completed").inc(3)
+        reg.counter("sched.jobs", outcome="cache_hit").inc(2)
+        snap = reg.snapshot()
+        assert counter_total(snap, "sched.jobs") == 5
+        assert counter_total(snap, "sched.jobs", outcome="cache_hit") == 2
+
+    def test_render_frame_empty_snapshot(self):
+        frame = render_frame({"counters": [], "gauges": [], "histograms": []})
+        assert "no samples" in frame
+
+    def test_render_frame_rates_with_window(self):
+        reg = MetricsRegistry()
+        reg.counter("sched.jobs", outcome="completed").inc(5)
+        old = reg.snapshot()
+        reg.counter("sched.jobs", outcome="completed").inc(10)
+        frame = render_frame(reg.snapshot(), previous=old, window_s=2.0)
+        assert "5.0 jobs/s" in frame
