@@ -16,12 +16,24 @@ Usage::
 
     PYTHONPATH=src python benchmarks/perf_baseline.py            # measure
     PYTHONPATH=src python benchmarks/perf_baseline.py --update   # + append
+    PYTHONPATH=src python benchmarks/perf_baseline.py --reps 3   # median
 
 The trajectory in BENCH_engine.json is the repo's performance history:
 one entry per PR that touched engine speed, oldest first.  Compare
 ``fast_wall_s`` across entries for cross-PR progress; within an entry,
 ``speedup`` is fast-vs-reference *on the same code*, so layer-level
 optimisations (shared by both paths) do not inflate it.
+
+Two safeguards keep the trajectory meaningful:
+
+* ``--reps N`` repeats the whole sweep N times and records the median
+  wall times (recommended for ``--update``: single-run wall clocks on a
+  loaded machine drift by 10%+, far more than a typical optimisation).
+* ``--update`` refuses to append a point whose sweep fingerprint
+  (profile, config, benches, policies) differs from the trajectory
+  head — otherwise a changed sweep silently skews every cross-entry
+  comparison.  To intentionally restart the series on a new sweep
+  shape, pass ``--new-baseline``.
 """
 
 from __future__ import annotations
@@ -30,6 +42,7 @@ import argparse
 import dataclasses
 import json
 import platform
+import statistics
 import subprocess
 import sys
 import time
@@ -134,6 +147,48 @@ def measure_pair(
     }
 
 
+def measure_median(
+    profile: str = "scaled",
+    benches: list[str] | None = None,
+    reps: int = 1,
+) -> dict:
+    """``measure_pair`` repeated ``reps`` times, medianed per path.
+
+    Wall times are medianed independently for the fast and reference
+    paths (each is already drift-cancelled internally by the interleaved
+    pair order); speedup and throughput are recomputed from the medians.
+    ``identical`` must hold on every rep.  The returned dict carries a
+    ``reps`` field so trajectory readers can weight points accordingly.
+    """
+    runs = [measure_pair(profile, benches) for _ in range(max(1, reps))]
+    entry = dict(runs[0])
+    fast = statistics.median(r["fast_wall_s"] for r in runs)
+    ref = statistics.median(r["ref_wall_s"] for r in runs)
+    entry["fast_wall_s"] = round(fast, 3)
+    entry["ref_wall_s"] = round(ref, 3)
+    entry["speedup"] = round(ref / fast, 3) if fast else 1.0
+    entry["accesses_per_s"] = (
+        int(entry["sim_accesses"] / fast) if fast else 0
+    )
+    entry["identical"] = all(r["identical"] for r in runs)
+    entry["reps"] = len(runs)
+    return entry
+
+
+def fingerprint(entry: dict) -> tuple:
+    """The sweep-shape identity of a trajectory point.
+
+    Two points are wall-clock comparable only when these fields agree;
+    ``--update`` enforces it against the trajectory head.
+    """
+    return (
+        entry.get("profile"),
+        entry.get("config"),
+        tuple(entry.get("benches") or ()),
+        tuple(entry.get("policies") or ()),
+    )
+
+
 def _provenance() -> dict:
     try:
         commit = subprocess.run(
@@ -163,10 +218,24 @@ def main(argv: list[str] | None = None) -> int:
         "--update", action="store_true",
         help="append this measurement to BENCH_engine.json at the repo root",
     )
+    parser.add_argument(
+        "--reps", type=int, default=1,
+        help="repeat the sweep N times and record median wall times "
+             "(use >=3 with --update; single runs drift with machine load)",
+    )
+    parser.add_argument(
+        "--new-baseline", action="store_true",
+        help="allow --update to append a point whose sweep fingerprint "
+             "(profile/config/benches/policies) differs from the "
+             "trajectory head, starting a new comparable series",
+    )
     args = parser.parse_args(argv)
 
     benches = args.benches.split(",") if args.benches else None
-    entry = {**_provenance(), **measure_pair(args.profile, benches)}
+    entry = {
+        **_provenance(),
+        **measure_median(args.profile, benches, args.reps),
+    }
     print(json.dumps(entry, indent=2))
 
     out_dir = Path(__file__).parent / "out"
@@ -183,7 +252,22 @@ def main(argv: list[str] | None = None) -> int:
             ),
             "trajectory": [],
         }
-        doc["trajectory"].append(entry)
+        trajectory = doc["trajectory"]
+        if trajectory and not args.new_baseline:
+            head_fp = fingerprint(trajectory[-1])
+            new_fp = fingerprint(entry)
+            if head_fp != new_fp:
+                print(
+                    "refusing to append: sweep fingerprint "
+                    f"{new_fp} does not match the trajectory head "
+                    f"{head_fp}; wall times would not be comparable "
+                    "across entries.  Re-run with the head's "
+                    "profile/config/benches, or pass --new-baseline to "
+                    "intentionally start a new series.",
+                    file=sys.stderr,
+                )
+                return 2
+        trajectory.append(entry)
         bench_file.write_text(json.dumps(doc, indent=2) + "\n")
         print(f"appended to {bench_file}")
 

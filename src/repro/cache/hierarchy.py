@@ -374,12 +374,14 @@ class CacheHierarchy:
         return {"l1": l1, "l2": l2, "llc": llc}
 
     def core_stats(self, core: int) -> dict[str, CacheLevelStats]:
+        """Private-cache counter snapshots for one core, keyed by level."""
         return {
             "l1": CacheLevelStats("l1", self.l1[core].hits, self.l1[core].misses),
             "l2": CacheLevelStats("l2", self.l2[core].hits, self.l2[core].misses),
         }
 
     def reset(self) -> None:
+        """Empty every cache and zero all counters (fresh-run state)."""
         self.dirty_evictions = 0
         for cache in (*self.l1, *self.l2, self.llc):
             cache.reset()

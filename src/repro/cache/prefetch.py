@@ -64,6 +64,7 @@ class StridePrefetcher:
         return self.useful / self.issued if self.issued else 0.0
 
     def reset(self) -> None:
+        """Forget the stride history and zero the issue counters."""
         self._last_line = None
         self._last_stride = 0
         self._confirmed = False

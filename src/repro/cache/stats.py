@@ -15,14 +15,17 @@ class CacheLevelStats:
 
     @property
     def accesses(self) -> int:
+        """Total lookups (hits + misses)."""
         return self.hits + self.misses
 
     @property
     def hit_rate(self) -> float:
+        """Hits as a fraction of lookups (0.0 when idle)."""
         return self.hits / self.accesses if self.accesses else 0.0
 
     @property
     def miss_rate(self) -> float:
+        """Misses as a fraction of lookups (0.0 when idle)."""
         return self.misses / self.accesses if self.accesses else 0.0
 
     def __add__(self, other: "CacheLevelStats") -> "CacheLevelStats":

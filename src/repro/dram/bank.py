@@ -125,7 +125,9 @@ class Bank:
 
     @property
     def total_accesses(self) -> int:
+        """Row activations of any kind (hits + misses + conflicts)."""
         return self.hits + self.misses + self.conflicts
 
     def reset_stats(self) -> None:
+        """Zero the row-outcome counters (timing state is untouched)."""
         self.hits = self.misses = self.conflicts = 0

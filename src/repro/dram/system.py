@@ -47,6 +47,7 @@ class AccessResult:
 
     @property
     def remote(self) -> bool:
+        """Whether the access crossed the interconnect (hops > 0)."""
         return self.hops > 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -77,6 +78,7 @@ class DramStats:
     per_node_accesses: dict[int, int] = field(default_factory=dict)
 
     def record(self, result: AccessResult) -> None:
+        """Fold one completed access into the aggregate counters."""
         self.accesses += 1
         self.total_latency += result.latency
         self.total_queue_wait += result.queue_wait
@@ -96,14 +98,17 @@ class DramStats:
 
     @property
     def row_hit_rate(self) -> float:
+        """Row-buffer hits as a fraction of accesses (0.0 when idle)."""
         return self.row_hits / self.accesses if self.accesses else 0.0
 
     @property
     def remote_fraction(self) -> float:
+        """Cross-node accesses as a fraction of all accesses."""
         return self.remote_accesses / self.accesses if self.accesses else 0.0
 
     @property
     def mean_latency(self) -> float:
+        """Average end-to-end DRAM latency per access, in sim ns."""
         return self.total_latency / self.accesses if self.accesses else 0.0
 
     def to_json(self) -> dict:
@@ -221,6 +226,28 @@ class DramSystem:
         )
         self._frame_route[pfn] = route
         return route
+
+    def route_batch(self, pfns):
+        """Vectorised :meth:`_route` over an array of frame numbers.
+
+        Decodes every frame with :meth:`AddressMapping.decode_batch` and
+        returns ``(bank_color, node, channel)`` as three int64 arrays
+        aligned with ``pfns`` — element ``i`` equals the first three slots
+        of ``_route(pfns[i])``.  The channel is the global channel-bus
+        index (``node * num_channels + channel``), i.e. a direct index
+        into the per-machine channel occupancy table.  Pure and
+        memo-free: the engine's batched replay path routes the unique
+        frames of a section once, instead of one memo lookup per access.
+
+        Args:
+            pfns: integer array of page frame numbers (may be empty).
+
+        Returns:
+            Tuple of int64 arrays ``(bank_color, node, channel)``.
+        """
+        decoded = self.mapping.decode_batch(pfns)
+        bank_color = decoded.bank_color
+        return bank_color, decoded.node, bank_color // self._banks_per_channel
 
     def _register_counters(self, obs: BaseObserver) -> None:
         """Expose aggregate stats and controller occupancy as counters.

@@ -14,8 +14,11 @@ import heapq
 import time
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.obs import metrics as obs_metrics
 
+from repro.cache.batch import set_index_batch
 from repro.cache.cache import _ABSENT
 from repro.cache.hierarchy import CacheHierarchy, CacheTiming, MemoryLevel
 from repro.core.session import ColoredTeam
@@ -217,7 +220,577 @@ class Engine:
     def _run_section_fast(
         self, section: Section, start: float, metrics: RunMetrics
     ) -> dict[int, float]:
-        """The zero-observability hot loop (the *fast path*).
+        """The zero-observability fast path: batched replay when possible.
+
+        Two-stage structure (see docs/PERFORMANCE.md for the model):
+
+        1. :meth:`_batch_plan` tries to vectorise all *stateless*
+           per-access work for the whole section with numpy — address
+           translation (unique-page gather), physical line construction,
+           DRAM route decode (:meth:`AddressMapping.decode_batch` via
+           :meth:`DramSystem.route_batch`), row numbers, interconnect
+           constants, and every cache set index
+           (:func:`repro.cache.batch.set_index_batch`).  This requires
+           every page of the section to be resident (compute sections
+           after the faulting init sections) and no prefetchers.
+        2. :meth:`_run_section_batched` replays the residual *stateful*
+           work — LRU content, bank/queue occupancies, the merge order
+           itself — through a lean scalar loop over the precomputed
+           plan, bit-identical to the reference loop.
+
+        When the plan cannot be built (a page would fault, prefetch
+        ablation on, or a degenerate row layout), the section runs
+        through :meth:`_run_section_scalar`, the previous-generation
+        fast loop.  Per-stage wall time is recorded in the ambient
+        metrics registry (``engine.kernel_ns{kind=decode|replay|
+        scalar_replay}``) so ``repro.obs top`` shows where replay time
+        goes.
+        """
+        mreg = obs_metrics.active()
+        batchable = self.memory.hierarchy.prefetchers is None
+        if mreg is None:
+            plan = self._batch_plan(section) if batchable else None
+            if plan is not None:
+                return self._run_section_batched(section, start, metrics, plan)
+            return self._run_section_scalar(section, start, metrics)
+        t0 = time.perf_counter()
+        plan = self._batch_plan(section) if batchable else None
+        t1 = time.perf_counter()
+        mreg.histogram("engine.kernel_ns", kind="decode").observe(
+            (t1 - t0) * 1e9
+        )
+        if plan is not None:
+            ends = self._run_section_batched(section, start, metrics, plan)
+            kind = "replay"
+        else:
+            ends = self._run_section_scalar(section, start, metrics)
+            kind = "scalar_replay"
+        mreg.histogram("engine.kernel_ns", kind=kind).observe(
+            (time.perf_counter() - t1) * 1e9
+        )
+        return ends
+
+    def _batch_plan(self, section: Section) -> dict[int, tuple] | None:
+        """Vectorised per-access precompute for one section, or None.
+
+        Returns one plan tuple per non-empty trace: plain Python lists
+        (fast scalar indexing) of the line address, L1/L2/LLC set index,
+        write flag, think time, DRAM route (node, channel bus, bank
+        color), row number, and interconnect constants (hops,
+        propagation, link occupancy) of every access, plus the issuing
+        core's cache bindings.  All of it is stateless address math, so
+        it can leave the replay loop; everything computed here is
+        bit-identical to what the scalar paths derive per access.
+
+        Returns None — caller falls back to :meth:`_run_section_scalar`
+        — when any page of the section is unmapped (the access would
+        demand-fault mid-replay, which is inherently sequential) or the
+        row layout puts row bits inside the line offset.
+        """
+        mapping = self.kernel.mapping
+        page_bits = mapping.page_bits
+        page_mask = (1 << page_bits) - 1
+        hierarchy = self.memory.hierarchy
+        dram = self.memory.dram
+        line_bits = hierarchy._line_bits
+        row_shift = dram._row_shift
+        if row_shift < line_bits:
+            return None
+        page_line_shift = page_bits - line_bits
+        row_line_shift = row_shift - line_bits
+        topo = hierarchy.topology
+        l1_geom, l2_geom = topo.l1, topo.l2
+        l1_set_mask = l1_geom.num_sets - 1
+        l2_set_mask = l2_geom.num_sets - 1
+        llc_mask = hierarchy._llc_mask
+        ic = dram.interconnect
+        num_nodes = mapping.num_nodes
+        page_table_get = self.space.page_table.get
+        handles = self.team.handles
+        plans: dict[int, tuple] = {}
+        for tidx, trace in section.traces.items():
+            if len(trace) == 0:
+                continue
+            va = trace.vaddrs
+            uvpn, inv = np.unique(va >> page_bits, return_inverse=True)
+            upfns = [page_table_get(v) for v in uvpn.tolist()]
+            if None in upfns:
+                return None
+            pfns_u = np.asarray(upfns, dtype=np.int64)
+            lines = (pfns_u[inv] << page_line_shift) | (
+                (va & page_mask) >> line_bits
+            )
+            bc_u, node_u, chan_u = dram.route_batch(pfns_u)
+            core = handles[tidx].core
+            hops_u = np.asarray(ic._hops[core], dtype=np.int64)[node_u]
+            prop_u = np.asarray(ic._prop[core], dtype=np.float64)[node_u]
+            occ_u = np.asarray(ic._occupancy[core], dtype=np.float64)[node_u]
+            writes = trace.writes.tolist()
+            tn = trace.think_ns
+            thinks = (
+                tn.astype(float).tolist()
+                if isinstance(tn, np.ndarray)
+                else [float(tn)] * len(va)
+            )
+            src = ic._src_node[core]
+            # Pack the per-access fields into tuples so the replay loop
+            # pays one list index + one unpack per access instead of one
+            # list index per field.  The second record carries the
+            # DRAM-only fields and is touched only on LLC misses.
+            plans[tidx] = (
+                lines.tolist(),
+                set_index_batch(
+                    lines, l1_geom.index_bits, l1_set_mask, True
+                ).tolist(),
+                set_index_batch(
+                    lines, l2_geom.index_bits, l2_set_mask, True
+                ).tolist(),
+                (lines & llc_mask).tolist(),
+                writes, thinks,
+                node_u[inv].tolist(), chan_u[inv].tolist(),
+                bc_u[inv].tolist(),
+                (lines >> row_line_shift).tolist(),
+                hops_u[inv].tolist(), prop_u[inv].tolist(),
+                occ_u[inv].tolist(),
+                [(src, n) for n in range(num_nodes)],
+                hierarchy.l1[core], hierarchy._l1_sets[core],
+                hierarchy.l2[core], hierarchy._l2_sets[core],
+            )
+        return plans
+
+    def _run_section_batched(
+        self,
+        section: Section,
+        start: float,
+        metrics: RunMetrics,
+        plans: dict[int, tuple],
+    ) -> dict[int, float]:
+        """Replay a section over a :meth:`_batch_plan` — the hot loop.
+
+        The merge-by-timestamp schedule (heap + batching window) is
+        replicated exactly from :meth:`_run_section_reference`; what
+        changed is the per-access body: every address-derived value
+        comes from the plan's lists, the whole hierarchy/DRAM call chain
+        is inlined (no :class:`HierarchyResult`/``AccessResult``
+        allocation), and shared accumulators — DRAM statistics, bank
+        row-buffer state, LLC counters, dirty-eviction and
+        remote-transfer counts — live in section-local mirrors that are
+        loaded once, mutated in execution order (so every float
+        accumulation chain is unchanged), and stored back once.  Keep
+        the replay semantics in lockstep with the reference loop and
+        ``_run_section_traced``.
+        """
+        hierarchy = self.memory.hierarchy
+        dram = self.memory.dram
+        ic = dram.interconnect
+        stats = dram.stats
+        timing = hierarchy.timing
+        l1_hit_t = timing.l1_hit
+        l2_hit_t = timing.l2_hit
+        llc_hit_t = timing.llc_hit
+        l1_ways = hierarchy._l1_ways
+        l2_ways = hierarchy._l2_ways
+        llc_ways = hierarchy._llc_ways
+        l2_ib = hierarchy._l2_ib
+        l2_ib2 = l2_ib + l2_ib
+        l2_mask = hierarchy._l2_mask
+        llc_sets = hierarchy._llc_sets
+        llc_mask = hierarchy._llc_mask
+        llc = hierarchy.llc
+        banks = dram.banks
+        ctrl_busy = dram._ctrl_busy
+        chan_busy = dram._chan_busy
+        link_busy = ic._link_busy
+        link_busy_get = link_busy.get
+        frame_route_get = dram._frame_route.get
+        dram_route = dram._route
+        ctrl_service = dram._ctrl_service
+        ctrl_overhead = dram._ctrl_overhead
+        channel_service = dram._channel_service
+        refresh_interval = dram._refresh_interval
+        row_hit_ns = dram._row_hit_ns
+        row_miss_ns = dram._row_miss_ns
+        row_conflict_ns = dram._row_conflict_ns
+        write_recovery = dram._write_recovery
+        wb_scale = dram._wb_scale
+        line_bits = hierarchy._line_bits
+        page_line_shift = self.kernel.mapping.page_bits - line_bits
+        row_line_shift = dram._row_shift - line_bits
+        ABSENT = _ABSENT
+        pop = heapq.heappop
+        replace = heapq.heapreplace
+        slack = self.BATCH_SLACK_NS
+        inf = float("inf")
+        threads = metrics.threads
+
+        # Section-local mirrors of every shared accumulator the loop
+        # touches.  Loaded once, updated in exactly the order the
+        # reference loop would update the originals (same int sums, same
+        # float accumulation chains), stored back before returning.
+        bank_busy = [b.busy_until for b in banks]
+        bank_row: list[int | None] = [b.open_row for b in banks]
+        bank_epoch = [b.refresh_epoch for b in banks]
+        bank_hit_n = [b.hits for b in banks]
+        bank_miss_n = [b.misses for b in banks]
+        bank_conf_n = [b.conflicts for b in banks]
+        s_llc_hits = llc.hits
+        s_llc_misses = llc.misses
+        s_wait_link = stats.wait_link
+        s_wait_ctrl = stats.wait_ctrl
+        s_wait_chan = stats.wait_chan
+        s_wait_bank = stats.wait_bank
+        s_accesses = stats.accesses
+        s_total_latency = stats.total_latency
+        s_total_queue_wait = stats.total_queue_wait
+        s_row_hits = stats.row_hits
+        s_row_misses = stats.row_misses
+        s_row_conflicts = stats.row_conflicts
+        s_remote = stats.remote_accesses
+        s_local = stats.local_accesses
+        s_writebacks = stats.writebacks
+        per_node = stats.per_node_accesses
+        pn_n = [0] * len(ctrl_busy)
+        de_n = hierarchy.dirty_evictions
+        remote_tr_n = ic.remote_transfers
+
+        wb_memo: dict[int, tuple[int, int, int]] = {}
+        wb_memo_get = wb_memo.get
+
+        def wb(old: int, now: float) -> None:
+            # DramSystem.writeback(old << line_bits, now), inlined over
+            # the section-local bank/channel tables.  Route decode is
+            # memoised per line — dirty lines cycle through the LLC, so
+            # repeat write-backs of the same line are the common case.
+            nonlocal s_writebacks
+            info = wb_memo_get(old)
+            if info is None:
+                wpfn = old >> page_line_shift
+                route = frame_route_get(wpfn)
+                if route is None:
+                    route = dram_route(wpfn)
+                info = (route[2], route[0], old >> row_line_shift)
+                wb_memo[old] = info
+            wch, wbc, wrow = info
+            busy = chan_busy[wch]
+            chan_busy[wch] = (now if now > busy else busy) + channel_service
+            busy = bank_busy[wbc]
+            wstart = now if now > busy else busy
+            epoch = int(wstart // refresh_interval)
+            if epoch != bank_epoch[wbc]:
+                bank_epoch[wbc] = epoch
+                bank_row[wbc] = None
+                base = row_miss_ns
+            else:
+                orow = bank_row[wbc]
+                if orow is None:
+                    base = row_miss_ns
+                elif orow == wrow:
+                    base = row_hit_ns
+                else:
+                    base = row_conflict_ns
+            bank_busy[wbc] = wstart + ((base + write_recovery) * wb_scale)
+            s_writebacks += 1
+
+        def spill_insert(llc_set: dict, line: int, now: float) -> None:
+            # Absent-line half of CacheHierarchy._spill_to_llc (callers
+            # handle the already-present fast path inline): evict the
+            # set's LRU line, write a dirty victim back, insert dirty.
+            nonlocal de_n
+            if len(llc_set) >= llc_ways:
+                old = next(iter(llc_set))
+                if llc_set.pop(old):
+                    de_n += 1
+                    wb(old, now)
+            llc_set[line] = True
+
+        states: dict[int, list] = {}
+        heap: list[tuple[float, int]] = []
+        for tidx in section.traces:
+            plan = plans.get(tidx)
+            if plan is None:
+                continue
+            # Mutable per-thread state: cursor, trace length, the plan's
+            # record lists, the core's set tables, and six event
+            # counters flushed into the shared metrics once per section.
+            states[tidx] = [
+                0, len(plan[0]), plan[0], plan[1], plan[2], plan[3],
+                plan[4], plan[5], plan[6], plan[7], plan[8], plan[9],
+                plan[10], plan[11], plan[12], plan[13], plan[15],
+                plan[17], 0, 0, 0, 0, 0, 0,
+            ]
+            heapq.heappush(heap, (start, tidx))
+        ends: dict[int, float] = {tidx: start for tidx in section.traces}
+        if not heap:
+            return ends
+
+        while heap:
+            clock, tidx = heap[0]
+            state = states[tidx]
+            (i, n, lines, l1i, l2i, lci, writes, thinks, nds, chs, bcs,
+             rows, hops, props, occs, lkeys, l1_sets_c, l2_sets_c,
+             dram_n, remote_n, conflict_n, l1_miss_n, l2_hit_n,
+             l2_miss_n) = state
+            # Burst window.  The root is peeked, not popped; the heap
+            # minimum *after* removing the root is the smaller of the
+            # root's two children, so the horizon matches the reference
+            # loop's pop-then-peek exactly while letting the burst end
+            # with a single heapreplace instead of a pop + push.
+            m = len(heap)
+            if m > 2:
+                a = heap[1][0]
+                b = heap[2][0]
+                horizon = (a if a < b else b) + slack
+            elif m == 2:
+                horizon = heap[1][0] + slack
+            else:
+                horizon = inf
+
+            while True:
+                line = lines[i]
+                entries = l1_sets_c[l1i[i]]
+                d = entries.pop(line, ABSENT)
+                if d is not ABSENT:
+                    entries[line] = d or writes[i]
+                    clock += thinks[i] + l1_hit_t
+                else:
+                    l1_miss_n += 1
+                    is_w = writes[i]
+                    l2_set = l2_sets_c[l2i[i]]
+                    d = l2_set.pop(line, ABSENT)
+                    if d is not ABSENT:
+                        # L2 hit: refresh LRU, fill the L1 (the probe
+                        # above already proved the line absent there).
+                        l2_hit_n += 1
+                        l2_set[line] = d or is_w
+                        if len(entries) >= l1_ways:
+                            old = next(iter(entries))
+                            old_dirty = entries.pop(old)
+                            entries[line] = is_w
+                            if old_dirty:
+                                down = l2_sets_c[
+                                    (old ^ (old >> l2_ib) ^ (old >> l2_ib2))
+                                    & l2_mask
+                                ]
+                                if old in down:
+                                    down[old] = True
+                                else:
+                                    sset = llc_sets[old & llc_mask]
+                                    if old in sset:
+                                        sset[old] = True
+                                    else:
+                                        spill_insert(sset, old, clock)
+                        else:
+                            entries[line] = is_w
+                        clock += thinks[i] + l2_hit_t
+                    else:
+                        l2_miss_n += 1
+                        llc_set = llc_sets[lci[i]]
+                        d = llc_set.pop(line, ABSENT)
+                        if d is not ABSENT:
+                            s_llc_hits += 1
+                            llc_set[line] = d or is_w
+                            lat = llc_hit_t
+                        else:
+                            # LLC miss -> DRAM (DramSystem.access inlined
+                            # over the plan's precomputed route).
+                            s_llc_misses += 1
+                            nd = nds[i]
+                            hp = hops[i]
+                            if hp:
+                                key = lkeys[nd]
+                                busy = link_busy_get(key, 0.0)
+                                lstart = busy if busy > clock else clock
+                                pr = props[i]
+                                link_busy[key] = lstart + occs[i]
+                                remote_tr_n += 1
+                                arrival = lstart + pr
+                            else:
+                                arrival = clock
+                            busy = ctrl_busy[nd]
+                            ctrl_start = arrival if arrival > busy else busy
+                            ctrl_busy[nd] = ctrl_start + ctrl_service
+                            after_ctrl = ctrl_start + ctrl_overhead
+                            ch = chs[i]
+                            busy = chan_busy[ch]
+                            chan_start = (
+                                after_ctrl if after_ctrl > busy else busy
+                            )
+                            chan_busy[ch] = chan_start + channel_service
+                            bc = bcs[i]
+                            busy = bank_busy[bc]
+                            bank_start = (
+                                chan_start if chan_start > busy else busy
+                            )
+                            epoch = int(bank_start // refresh_interval)
+                            row = rows[i]
+                            if epoch != bank_epoch[bc]:
+                                bank_epoch[bc] = epoch
+                                service = row_miss_ns
+                                bank_miss_n[bc] += 1
+                                s_row_misses += 1
+                            else:
+                                orow = bank_row[bc]
+                                if orow is None:
+                                    service = row_miss_ns
+                                    bank_miss_n[bc] += 1
+                                    s_row_misses += 1
+                                elif orow == row:
+                                    service = row_hit_ns
+                                    bank_hit_n[bc] += 1
+                                    s_row_hits += 1
+                                else:
+                                    service = row_conflict_ns
+                                    bank_conf_n[bc] += 1
+                                    s_row_conflicts += 1
+                                    conflict_n += 1
+                            bank_row[bc] = row
+                            bank_busy[bc] = bank_start + (
+                                service + (write_recovery if is_w else 0.0)
+                            )
+                            if hp:
+                                done = bank_start + service + pr
+                                w_link = arrival - clock - pr
+                                if w_link < 0.0:
+                                    w_link = 0.0
+                                remote_n += 1
+                                s_remote += 1
+                            else:
+                                done = bank_start + service + 0.0
+                                w_link = 0.0
+                                s_local += 1
+                            dram_lat = done - clock
+                            w_ctrl = ctrl_start - arrival
+                            w_chan = chan_start - after_ctrl
+                            w_bank = bank_start - chan_start
+                            s_wait_link += w_link
+                            s_wait_ctrl += w_ctrl
+                            s_wait_chan += w_chan
+                            s_wait_bank += w_bank
+                            s_accesses += 1
+                            s_total_latency += dram_lat
+                            s_total_queue_wait += (
+                                w_link + w_ctrl + w_chan + w_bank
+                            )
+                            pn_n[nd] += 1
+                            dram_n += 1
+                            # LLC fill: evict the set's LRU line (dirty
+                            # victims post write-backs), install the line.
+                            if len(llc_set) >= llc_ways:
+                                old = next(iter(llc_set))
+                                if llc_set.pop(old):
+                                    de_n += 1
+                                    wb(old, clock)
+                            llc_set[line] = is_w
+                            lat = llc_hit_t + dram_lat
+                        # _fill_private, inlined: L2 insert then L1
+                        # insert (both probes above proved absence).
+                        if len(l2_set) >= l2_ways:
+                            old = next(iter(l2_set))
+                            old_dirty = l2_set.pop(old)
+                            l2_set[line] = False
+                            if old_dirty:
+                                sset = llc_sets[old & llc_mask]
+                                if old in sset:
+                                    sset[old] = True
+                                else:
+                                    spill_insert(sset, old, clock)
+                        else:
+                            l2_set[line] = False
+                        if len(entries) >= l1_ways:
+                            old = next(iter(entries))
+                            old_dirty = entries.pop(old)
+                            entries[line] = is_w
+                            if old_dirty:
+                                down = l2_sets_c[
+                                    (old ^ (old >> l2_ib) ^ (old >> l2_ib2))
+                                    & l2_mask
+                                ]
+                                if old in down:
+                                    down[old] = True
+                                else:
+                                    sset = llc_sets[old & llc_mask]
+                                    if old in sset:
+                                        sset[old] = True
+                                    else:
+                                        spill_insert(sset, old, clock)
+                        else:
+                            entries[line] = is_w
+                        clock += thinks[i] + lat
+
+                i += 1
+                if i >= n:
+                    ends[tidx] = clock
+                    pop(heap)
+                    break
+                if clock > horizon:
+                    state[0] = i
+                    replace(heap, (clock, tidx))
+                    break
+            state[18] = dram_n
+            state[19] = remote_n
+            state[20] = conflict_n
+            state[21] = l1_miss_n
+            state[22] = l2_hit_n
+            state[23] = l2_miss_n
+
+        # Flush per-thread event counters into the shared metrics
+        # objects (pure integer sums, so a single end-of-section flush
+        # is exact).  Every access of every planned trace completes
+        # within the section, so the access count is the trace length.
+        for tidx, state in states.items():
+            plan = plans[tidx]
+            tm = threads[tidx]
+            n = state[1]
+            l1_miss_n = state[21]
+            tm.accesses += n
+            tm.dram_accesses += state[18]
+            tm.remote_accesses += state[19]
+            tm.row_conflicts += state[20]
+            l1_cache = plan[14]
+            l1_cache.hits += n - l1_miss_n
+            l1_cache.misses += l1_miss_n
+            l2_cache = plan[16]
+            l2_cache.hits += state[22]
+            l2_cache.misses += state[23]
+
+        # Store the section-local mirrors back into the shared objects.
+        llc.hits = s_llc_hits
+        llc.misses = s_llc_misses
+        stats.wait_link = s_wait_link
+        stats.wait_ctrl = s_wait_ctrl
+        stats.wait_chan = s_wait_chan
+        stats.wait_bank = s_wait_bank
+        stats.accesses = s_accesses
+        stats.total_latency = s_total_latency
+        stats.total_queue_wait = s_total_queue_wait
+        stats.row_hits = s_row_hits
+        stats.row_misses = s_row_misses
+        stats.row_conflicts = s_row_conflicts
+        stats.remote_accesses = s_remote
+        stats.local_accesses = s_local
+        stats.writebacks = s_writebacks
+        hierarchy.dirty_evictions = de_n
+        ic.remote_transfers = remote_tr_n
+        per_node_get = per_node.get
+        for ndx, cnt in enumerate(pn_n):
+            if cnt:
+                per_node[ndx] = per_node_get(ndx, 0) + cnt
+        for b, busy, row, ep, hit, miss, conf in zip(
+            banks, bank_busy, bank_row, bank_epoch,
+            bank_hit_n, bank_miss_n, bank_conf_n,
+        ):
+            b.busy_until = busy
+            b.open_row = row
+            b.refresh_epoch = ep
+            b.hits = hit
+            b.misses = miss
+            b.conflicts = conf
+        return ends
+
+    def _run_section_scalar(
+        self, section: Section, start: float, metrics: RunMetrics
+    ) -> dict[int, float]:
+        """The scalar fast loop (fallback for sections that may fault).
 
         Same replay semantics as :meth:`_run_section_reference` — and
         bit-identical metrics, enforced by

@@ -1,0 +1,108 @@
+"""Property tests pinning ``decode_batch`` to scalar ``frame_decode``.
+
+The batched engine plans whole sections through
+:meth:`AddressMapping.decode_batch`; its bit-identity contract is that
+every element of every output array equals the corresponding scalar
+:meth:`AddressMapping.frame_decode` field.  These tests enforce that
+across all machine presets with hypothesis-generated frame batches, plus
+the empty-batch and single-element edge cases the vectorized path is
+most likely to get wrong.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.machine.presets import (
+    opteron_4s,
+    opteron_6128,
+    opteron_6128_scaled,
+    tiny_machine,
+)
+
+PRESETS = {
+    "opteron_6128": opteron_6128,
+    "opteron_6128_scaled": opteron_6128_scaled,
+    "opteron_4s": opteron_4s,
+    "tiny_machine": tiny_machine,
+}
+
+
+@pytest.fixture(params=sorted(PRESETS), name="mapping")
+def mapping_fixture(request):
+    return PRESETS[request.param]().mapping
+
+
+def assert_matches_scalar(mapping, pfns):
+    """Every batch field must equal the scalar decode, element-wise."""
+    batch = mapping.decode_batch(np.asarray(pfns, dtype=np.int64))
+    assert len(batch) == len(pfns)
+    for i, pfn in enumerate(pfns):
+        scalar = mapping.frame_decode(pfn)
+        assert batch.pfns[i] == scalar.pfn
+        assert batch.node[i] == scalar.node
+        assert batch.channel[i] == scalar.channel
+        assert batch.rank[i] == scalar.rank
+        assert batch.bank[i] == scalar.bank
+        assert batch.bank_color[i] == scalar.bank_color
+        assert batch.llc_color[i] == scalar.llc_color
+
+
+class TestDecodeBatchProperties:
+    # The mapping fixture is frozen (decode memo aside), so reusing it
+    # across generated examples is sound.
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(data=st.data())
+    def test_matches_scalar_on_random_batches(self, mapping, data):
+        pfns = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=mapping.num_frames - 1),
+                min_size=1,
+                max_size=64,
+            )
+        )
+        assert_matches_scalar(mapping, pfns)
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(data=st.data())
+    def test_single_element(self, mapping, data):
+        pfn = data.draw(
+            st.integers(min_value=0, max_value=mapping.num_frames - 1)
+        )
+        assert_matches_scalar(mapping, [pfn])
+
+    def test_empty_batch(self, mapping):
+        batch = mapping.decode_batch(np.asarray([], dtype=np.int64))
+        assert len(batch) == 0
+        for field in (
+            batch.pfns, batch.node, batch.channel, batch.rank,
+            batch.bank, batch.bank_color, batch.llc_color,
+        ):
+            assert field.size == 0
+
+    def test_boundary_frames(self, mapping):
+        """First and last frames of physical memory decode correctly."""
+        assert_matches_scalar(mapping, [0, mapping.num_frames - 1])
+
+    def test_duplicate_frames_decode_identically(self, mapping):
+        pfn = mapping.num_frames // 2
+        batch = mapping.decode_batch(np.asarray([pfn, pfn], dtype=np.int64))
+        assert batch.bank_color[0] == batch.bank_color[1]
+        assert batch.llc_color[0] == batch.llc_color[1]
+
+    def test_out_of_range_rejected(self, mapping):
+        with pytest.raises(ValueError):
+            mapping.decode_batch(
+                np.asarray([mapping.num_frames], dtype=np.int64)
+            )
+        with pytest.raises(ValueError):
+            mapping.decode_batch(np.asarray([-1], dtype=np.int64))

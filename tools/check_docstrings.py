@@ -30,8 +30,18 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 SRC = REPO_ROOT / "src"
 
-#: Packages whose public surface must be documented.
-PACKAGES = ("repro.core", "repro.sim", "repro.machine", "repro.service")
+#: Packages whose public surface must be documented.  ``repro.cache``
+#: and ``repro.dram`` joined when the batch-kernel API (repro.cache.batch,
+#: DramSystem.route_batch, AddressMapping.decode_batch) became public
+#: engine surface.
+PACKAGES = (
+    "repro.core",
+    "repro.sim",
+    "repro.machine",
+    "repro.service",
+    "repro.cache",
+    "repro.dram",
+)
 
 
 def _is_overload(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
