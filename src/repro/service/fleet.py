@@ -1,0 +1,571 @@
+"""Fleet coordination: route jobs to pull-based workers with leases.
+
+The single-host scheduler executes attempts itself (inline or in a
+forked child).  The *fleet* executor instead hands each attempt to a
+:class:`FleetCoordinator`, which routes it — by consistent hash of the
+job's content digest (:mod:`repro.service.ring`) — into the mailbox of
+one registered worker process.  Workers are pull-based: they long-poll
+for work over the line-JSON TCP protocol (``worker_poll``), run the job
+with the ordinary :func:`~repro.service.worker.execute_jobspec`, and
+push the outcome back (``worker_result``).
+
+Liveness is lease-based, at two granularities:
+
+* **Worker leases.**  Every protocol call a worker makes refreshes its
+  ``last_seen``; a worker silent for ``lease_timeout_s`` is *expired* —
+  removed from the ring, with every job queued in its mailbox or leased
+  to it re-queued onto the survivors.  A SIGKILLed worker is
+  indistinguishable from a silent one, which is exactly the point.
+* **Job leases.**  Each dispatched job carries a one-time lease token.
+  Worker heartbeats list the tokens they are still running; a leased
+  token not renewed within ``lease_timeout_s`` is re-queued even if its
+  worker keeps polling (the "worker lost the job" case: a dropped
+  connection between poll and result).  A result arriving under a
+  token that has since been re-queued or invalidated is dropped as
+  *stale* — re-dispatch can never double-apply a result.
+
+Re-queues are transparent to the scheduler: the attempt just takes
+longer.  Only after ``requeue_limit`` re-queues does the attempt report
+a *crash* outcome, handing the decision back to the scheduler's
+retry/breaker machinery.  All timing flows through the injectable
+:class:`~repro.service.clock.Clock`, so lease expiry is testable on a
+virtual clock with zero real waiting.
+
+:class:`LocalFleetWorker` is an in-process worker thread speaking the
+coordinator API directly (no TCP) — what the fleet unit tests and the
+seeded chaos campaigns (``fleet.worker.*`` faultline sites) drive.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from collections import deque
+
+from repro.faultline import hooks as _fault_hooks
+from repro.obs import metrics as obs_metrics
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.stitch import TraceCollector, make_span, now_ns
+from repro.obs.tracectx import TraceContext
+from repro.service.clock import SYSTEM_CLOCK, Clock
+from repro.service.jobs import JobSpec
+from repro.service.ring import HashRing
+from repro.service.worker import execute_jobspec
+
+
+class _Pending:
+    """One attempt travelling through the fleet (lock: coordinator._cv)."""
+
+    __slots__ = ("digest", "spec_json", "trace_wire", "token", "worker_id",
+                 "state", "outcome", "done", "leased_at", "last_renewed",
+                 "requeues", "enqueued_ns")
+
+    def __init__(self, digest: str, spec_json: dict,
+                 trace_wire: dict | None) -> None:
+        self.digest = digest
+        self.spec_json = spec_json
+        self.trace_wire = trace_wire
+        self.token: str | None = None   # current lease token (leased only)
+        self.worker_id: str | None = None
+        self.state = "unrouted"         # unrouted | queued | leased | done
+        self.outcome: tuple | None = None
+        self.done = threading.Event()
+        self.leased_at = 0.0
+        self.last_renewed = 0.0
+        self.requeues = 0
+        self.enqueued_ns = 0
+
+
+class _WorkerState:
+    """Coordinator-side view of one registered worker."""
+
+    __slots__ = ("worker_id", "pid", "registered_at", "last_seen",
+                 "mailbox", "leased", "completed")
+
+    def __init__(self, worker_id: str, pid: int | None, now: float) -> None:
+        self.worker_id = worker_id
+        self.pid = pid
+        self.registered_at = now
+        self.last_seen = now
+        self.mailbox: deque[_Pending] = deque()
+        self.leased: dict[str, _Pending] = {}
+        self.completed = 0
+
+
+class FleetCoordinator:
+    """Routes scheduler attempts to registered pull-based workers.
+
+    Args:
+        lease_timeout_s: silence budget before a worker (or an
+            individual job lease) is declared dead and re-queued.
+        heartbeat_s: cadence workers are told to heartbeat at (returned
+            from :meth:`register`; must be comfortably under the lease
+            timeout).
+        requeue_limit: transparent re-dispatches per attempt before the
+            attempt reports a crash outcome to the scheduler.
+        replicas: virtual nodes per worker on the consistent-hash ring.
+        poll_interval_s: wait-loop slice for dispatching threads
+            (cancellation/timeout/expiry detection latency).
+        clock: time source for lease bookkeeping (tests inject a
+            :class:`~repro.service.clock.FakeClock`).
+        metrics: labeled registry for per-worker dispatch counters and
+            remote-attempt histograms (defaults to the process-ambient
+            registry; None = off).
+        traces: collector absorbing worker-side span fragments shipped
+            back with results.
+    """
+
+    def __init__(
+        self,
+        lease_timeout_s: float = 4.0,
+        heartbeat_s: float = 1.0,
+        requeue_limit: int = 3,
+        replicas: int = 64,
+        poll_interval_s: float = 0.02,
+        clock: Clock = SYSTEM_CLOCK,
+        metrics: MetricsRegistry | None = None,
+        traces: TraceCollector | None = None,
+    ) -> None:
+        if lease_timeout_s <= 0:
+            raise ValueError("lease_timeout_s must be > 0")
+        if heartbeat_s <= 0:
+            raise ValueError("heartbeat_s must be > 0")
+        if requeue_limit < 0:
+            raise ValueError("requeue_limit must be >= 0")
+        self.lease_timeout_s = lease_timeout_s
+        self.heartbeat_s = heartbeat_s
+        self.requeue_limit = requeue_limit
+        self.poll_interval_s = poll_interval_s
+        self.clock = clock
+        self.metrics = metrics if metrics is not None else obs_metrics.active()
+        self.traces = traces
+
+        self._cv = threading.Condition()
+        self._ring = HashRing(replicas)
+        self._workers: dict[str, _WorkerState] = {}
+        self._unrouted: deque[_Pending] = deque()
+        self._by_token: dict[str, _Pending] = {}
+        self._token_seq = itertools.count()
+        self._worker_seq = itertools.count()
+        self.counters = {
+            "registered": 0, "deregistered": 0, "expired_workers": 0,
+            "dispatched": 0, "polls": 0, "heartbeats": 0,
+            "completed_ok": 0, "completed_err": 0,
+            "requeued": 0, "requeue_exhausted": 0, "stale_results": 0,
+        }
+
+    # ------------------------------------------------------------ membership
+    def register(self, worker_id: str | None = None,
+                 pid: int | None = None) -> dict:
+        """Add (or refresh) a worker; returns its protocol parameters.
+
+        A fresh id is minted when the worker does not supply one.  The
+        reply tells the worker how to behave: its assigned id, the
+        heartbeat cadence, and the lease timeout its silence is judged
+        against.  Registration immediately routes any jobs stranded
+        without a live owner.
+        """
+        with self._cv:
+            now = self.clock.monotonic()
+            self._reap_locked(now)
+            if not worker_id:
+                worker_id = f"w{next(self._worker_seq)}-{os.getpid():x}"
+            state = self._workers.get(worker_id)
+            if state is None:
+                state = _WorkerState(worker_id, pid, now)
+                self._workers[worker_id] = state
+                self._ring.add(worker_id)
+                self.counters["registered"] += 1
+            else:
+                state.last_seen = now
+                state.pid = pid if pid is not None else state.pid
+            while self._unrouted:
+                self._route_locked(self._unrouted.popleft())
+            self._set_worker_gauge_locked()
+            self._cv.notify_all()
+            return {
+                "worker_id": worker_id,
+                "heartbeat_s": self.heartbeat_s,
+                "lease_timeout_s": self.lease_timeout_s,
+            }
+
+    def deregister(self, worker_id: str) -> bool:
+        """Graceful goodbye: re-queue the worker's jobs, drop it from
+        the ring.  Returns False for an unknown id."""
+        with self._cv:
+            state = self._workers.get(worker_id)
+            if state is None:
+                return False
+            self._remove_worker_locked(state, reason="deregistered")
+            self.counters["deregistered"] += 1
+            self._set_worker_gauge_locked()
+            self._cv.notify_all()
+            return True
+
+    def heartbeat(self, worker_id: str, running: list[str] | None = None) -> bool:
+        """Refresh a worker's lease and renew its running job tokens.
+
+        ``running`` is the list of lease tokens the worker is still
+        executing.  Returns False when the worker is unknown (it was
+        expired); the worker should re-register and treat any job it is
+        still holding as abandoned — its lease token is already dead.
+        """
+        with self._cv:
+            now = self.clock.monotonic()
+            self.counters["heartbeats"] += 1
+            state = self._workers.get(worker_id)
+            if state is None:
+                return False
+            state.last_seen = now
+            for token in running or ():
+                pending = state.leased.get(token)
+                if pending is not None:
+                    pending.last_renewed = now
+            self._reap_locked(now)
+            return True
+
+    # -------------------------------------------------------------- dispatch
+    def execute(
+        self,
+        spec: JobSpec,
+        digest: str,
+        trace: TraceContext | None = None,
+        cancel_check=None,
+        timeout_s: float | None = None,
+    ) -> tuple:
+        """Run one attempt on the fleet; blocks until it resolves.
+
+        Returns the scheduler's attempt-outcome shape: ``("ok",
+        record)``, ``("err", msg)``, ``("crash", msg)`` (the worker —
+        possibly several in a row — died or lost the job beyond the
+        re-queue budget, or no worker exists), ``("timeout", msg)``, or
+        ``("cancelled", msg)``.  Lease expiries below ``requeue_limit``
+        are handled transparently by re-routing, so a SIGKILLed
+        worker's in-flight jobs complete on the survivors without
+        burning scheduler retries.
+        """
+        pending = _Pending(
+            digest, spec.to_json(),
+            trace.to_wire() if trace is not None and self.traces is not None
+            else None,
+        )
+        pending.enqueued_ns = now_ns()
+        start = self.clock.monotonic()
+        deadline = None if timeout_s is None else start + timeout_s
+        with self._cv:
+            self._route_locked(pending)
+            self._cv.notify_all()
+            while True:
+                if pending.state == "done":
+                    return self._booked_outcome_locked(pending)
+                now = self.clock.monotonic()
+                self._reap_locked(now)
+                if pending.state == "done":
+                    return self._booked_outcome_locked(pending)
+                if cancel_check is not None and cancel_check():
+                    self._detach_locked(pending)
+                    return ("cancelled", "detached on cancel request")
+                if deadline is not None and now >= deadline:
+                    self._detach_locked(pending)
+                    return ("timeout", f"attempt exceeded {timeout_s}s "
+                            "on the fleet")
+                self._cv.wait(self.poll_interval_s)
+
+    def _booked_outcome_locked(self, pending: _Pending) -> tuple:
+        assert pending.outcome is not None
+        return pending.outcome
+
+    def _route_locked(self, pending: _Pending) -> None:
+        """Assign a pending attempt to its digest's ring owner."""
+        try:
+            worker_id = self._ring.assign(pending.digest)
+        except LookupError:
+            pending.state = "unrouted"
+            pending.worker_id = None
+            self._unrouted.append(pending)
+            return
+        pending.state = "queued"
+        pending.worker_id = worker_id
+        self._workers[worker_id].mailbox.append(pending)
+
+    def _detach_locked(self, pending: _Pending) -> None:
+        """Forget a pending attempt (cancel/timeout); late results go stale."""
+        if pending.state == "unrouted":
+            try:
+                self._unrouted.remove(pending)
+            except ValueError:
+                pass
+        elif pending.state == "queued" and pending.worker_id is not None:
+            state = self._workers.get(pending.worker_id)
+            if state is not None:
+                try:
+                    state.mailbox.remove(pending)
+                except ValueError:
+                    pass
+        elif pending.state == "leased" and pending.token is not None:
+            state = self._workers.get(pending.worker_id or "")
+            if state is not None:
+                state.leased.pop(pending.token, None)
+            self._by_token.pop(pending.token, None)
+        pending.state = "done"
+        pending.outcome = pending.outcome or ("cancelled", "detached")
+        pending.done.set()
+
+    def _requeue_locked(self, pending: _Pending, reason: str) -> None:
+        """Give a lost attempt another lease, or fail it past the limit."""
+        if pending.token is not None:
+            self._by_token.pop(pending.token, None)
+            pending.token = None
+        pending.requeues += 1
+        self.counters["requeued"] += 1
+        if self.metrics is not None:
+            self.metrics.counter("fleet.requeues", reason=reason).inc()
+        if pending.requeues > self.requeue_limit:
+            self.counters["requeue_exhausted"] += 1
+            pending.state = "done"
+            pending.outcome = (
+                "crash",
+                f"fleet attempt lost {pending.requeues} times "
+                f"(last: {reason}); re-queue budget exhausted",
+            )
+            pending.done.set()
+            return
+        self._route_locked(pending)
+
+    def _remove_worker_locked(self, state: _WorkerState, reason: str) -> None:
+        """Drop a worker and re-route everything it held."""
+        del self._workers[state.worker_id]
+        self._ring.remove(state.worker_id)
+        stranded = list(state.mailbox) + list(state.leased.values())
+        state.mailbox.clear()
+        state.leased.clear()
+        for pending in stranded:
+            self._requeue_locked(pending, reason=reason)
+
+    def _reap_locked(self, now: float) -> None:
+        """Expire silent workers and un-renewed job leases."""
+        for state in list(self._workers.values()):
+            if now - state.last_seen > self.lease_timeout_s:
+                self.counters["expired_workers"] += 1
+                self._remove_worker_locked(state, reason="worker_expired")
+                self._set_worker_gauge_locked()
+                self._cv.notify_all()
+                continue
+            for token, pending in list(state.leased.items()):
+                if now - pending.last_renewed > self.lease_timeout_s:
+                    state.leased.pop(token, None)
+                    self._requeue_locked(pending, reason="lease_expired")
+                    self._cv.notify_all()
+
+    def _set_worker_gauge_locked(self) -> None:
+        if self.metrics is not None:
+            self.metrics.gauge("fleet.workers").set(len(self._workers))
+
+    # ------------------------------------------------------------ worker API
+    def poll(self, worker_id: str, timeout: float = 10.0) -> dict | None:
+        """Long-poll for one job; the worker's side of the dispatch.
+
+        Returns the lease — ``{"token", "digest", "spec", "trace"}`` —
+        or None when no job arrived within ``timeout`` (the worker just
+        polls again).  Returns ``{"reregister": True}`` for an unknown
+        worker id: the worker was expired and must register anew.
+        Polling refreshes the worker's liveness.
+        """
+        wait_deadline = time.monotonic() + timeout
+        with self._cv:
+            self.counters["polls"] += 1
+            while True:
+                now = self.clock.monotonic()
+                state = self._workers.get(worker_id)
+                if state is None:
+                    return {"reregister": True}
+                state.last_seen = now
+                self._reap_locked(now)
+                state = self._workers.get(worker_id)
+                if state is None:
+                    return {"reregister": True}
+                if state.mailbox:
+                    pending = state.mailbox.popleft()
+                    token = f"{pending.digest[:12]}#t{next(self._token_seq)}"
+                    pending.token = token
+                    pending.state = "leased"
+                    pending.leased_at = now
+                    pending.last_renewed = now
+                    state.leased[token] = pending
+                    self._by_token[token] = pending
+                    self.counters["dispatched"] += 1
+                    if self.metrics is not None:
+                        self.metrics.counter(
+                            "fleet.dispatches", worker=worker_id
+                        ).inc()
+                    return {
+                        "token": token,
+                        "digest": pending.digest,
+                        "spec": pending.spec_json,
+                        "trace": pending.trace_wire,
+                    }
+                remaining = wait_deadline - time.monotonic()
+                if remaining <= 0:
+                    return None
+                self._cv.wait(min(remaining, self.poll_interval_s * 5))
+
+    def complete(self, worker_id: str, token: str, kind: str,
+                 payload, aux: dict | None = None) -> bool:
+        """Deliver one attempt outcome from a worker.
+
+        ``kind`` is ``"ok"`` (payload = record JSON) or ``"err"``
+        (payload = message).  Returns False — and changes nothing —
+        when the token is stale: the lease expired, was re-queued, or
+        was invalidated by cancel/timeout while the worker ran.
+        """
+        with self._cv:
+            now = self.clock.monotonic()
+            state = self._workers.get(worker_id)
+            if state is not None:
+                state.last_seen = now
+            pending = self._by_token.pop(token, None)
+            if pending is None or pending.state != "leased":
+                self.counters["stale_results"] += 1
+                if self.metrics is not None:
+                    self.metrics.counter("fleet.stale_results").inc()
+                return False
+            owner = self._workers.get(pending.worker_id or "")
+            if owner is not None:
+                owner.leased.pop(token, None)
+                owner.completed += 1
+            if kind == "ok":
+                self.counters["completed_ok"] += 1
+                pending.outcome = ("ok", payload)
+            else:
+                self.counters["completed_err"] += 1
+                pending.outcome = ("err", str(payload))
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "fleet.jobs", worker=worker_id, outcome=kind
+                ).inc()
+                self.metrics.histogram(
+                    "fleet.remote_s", worker=worker_id
+                ).observe(max(0.0, now - pending.leased_at))
+            pending.state = "done"
+            pending.done.set()
+            self._absorb_aux(aux)
+            self._cv.notify_all()
+            return True
+
+    def _absorb_aux(self, aux: dict | None) -> None:
+        """Fold a worker's telemetry fragment (metrics + spans) in."""
+        if not aux:
+            return
+        if self.metrics is not None and aux.get("metrics"):
+            self.metrics.merge(aux["metrics"])
+        if self.traces is not None and aux.get("spans"):
+            self.traces.extend(aux["spans"])
+
+    # ----------------------------------------------------------------- admin
+    def stats(self) -> dict:
+        """Counter snapshot plus a per-worker occupancy table."""
+        with self._cv:
+            now = self.clock.monotonic()
+            workers = {
+                w.worker_id: {
+                    "pid": w.pid,
+                    "mailbox": len(w.mailbox),
+                    "leased": len(w.leased),
+                    "completed": w.completed,
+                    "silence_s": round(now - w.last_seen, 3),
+                }
+                for w in self._workers.values()
+            }
+            return {
+                **self.counters,
+                "workers": workers,
+                "live_workers": len(workers),
+                "unrouted": len(self._unrouted),
+            }
+
+
+class LocalFleetWorker(threading.Thread):
+    """In-process worker thread speaking the coordinator API directly.
+
+    The TCP-less twin of the standalone worker process: registers, long
+    polls, runs jobs with ``runner``, reports results.  Liveness comes
+    from its poll/complete calls only (no background heartbeat thread),
+    so a worker stuck in a long job looks exactly like a lost one — the
+    behaviour the per-lease expiry tests and the fleet chaos campaigns
+    rely on.
+
+    Faultline sites (scoped ``<digest12>#<worker_id>``):
+
+    * ``fleet.worker.kill`` — the thread exits immediately after taking
+      the lease, completing nothing (an in-process SIGKILL).
+    * ``fleet.worker.hang`` — sleeps ``arg`` seconds (default
+      :data:`~repro.faultline.plan.DEFAULT_HANG_S`) before reporting;
+      past the lease timeout the result arrives stale.
+    * ``fleet.worker.disconnect`` — the polled lease is dropped on the
+      floor: never run, never renewed, recovered only by lease expiry.
+    """
+
+    def __init__(self, coordinator: FleetCoordinator, runner=execute_jobspec,
+                 worker_id: str | None = None,
+                 poll_timeout_s: float = 0.05) -> None:
+        super().__init__(daemon=True)
+        self.coordinator = coordinator
+        self.runner = runner
+        self.poll_timeout_s = poll_timeout_s
+        self._halt = threading.Event()
+        reply = coordinator.register(worker_id=worker_id, pid=os.getpid())
+        self.worker_id = reply["worker_id"]
+        self.name = f"fleet-local-{self.worker_id}"
+
+    def stop(self, join: bool = True) -> None:
+        """Ask the loop to exit after its current poll; optionally join."""
+        self._halt.set()
+        if join and self.is_alive():
+            self.join(timeout=10.0)
+
+    def run(self) -> None:
+        """Poll-run-report until stopped (or killed by a fault rule)."""
+        while not self._halt.is_set():
+            lease = self.coordinator.poll(self.worker_id,
+                                          timeout=self.poll_timeout_s)
+            if lease is None:
+                continue
+            if lease.get("reregister"):
+                reply = self.coordinator.register(worker_id=self.worker_id,
+                                                  pid=os.getpid())
+                self.worker_id = reply["worker_id"]
+                continue
+            scope = f"{lease['digest'][:12]}#{self.worker_id}"
+            if _fault_hooks.should_fire("fleet.worker.kill", scope):
+                return  # vanish: no result, no further polls
+            if _fault_hooks.should_fire("fleet.worker.disconnect", scope):
+                continue  # lease lost on the floor; expiry re-queues it
+            rule = _fault_hooks.should_fire("fleet.worker.hang", scope)
+            spec = JobSpec.from_json(lease["spec"])
+            begin_ns = now_ns()
+            outcome: tuple
+            try:
+                result = self.runner(spec)
+                outcome = ("ok", result)
+            except Exception as exc:  # noqa: BLE001 - reported, never fatal
+                outcome = ("err", f"{type(exc).__name__}: {exc}")
+            if rule is not None:
+                from repro.faultline.plan import DEFAULT_HANG_S
+                self.coordinator.clock.sleep(
+                    rule.arg if rule.arg is not None else DEFAULT_HANG_S
+                )
+            aux = None
+            ctx = TraceContext.from_wire(lease.get("trace"))
+            if ctx is not None:
+                aux = {"spans": [make_span(
+                    f"worker.attempt:{spec.label}", "worker",
+                    begin_ns, now_ns(), ctx=ctx.child(),
+                    args={"executor": "fleet-local", "outcome": outcome[0]},
+                )]}
+            self.coordinator.complete(
+                self.worker_id, lease["token"], outcome[0], outcome[1],
+                aux=aux,
+            )
+        self.coordinator.deregister(self.worker_id)

@@ -1,0 +1,249 @@
+"""The standalone fleet worker: ``python -m repro.service worker``.
+
+A :class:`RemoteWorker` is one OS process that connects to a fleet
+server (``python -m repro.service serve --executor fleet``) over the
+line-JSON TCP protocol and participates in the pull loop:
+
+1. ``worker_register`` — announce itself; learn its id, the heartbeat
+   cadence, and the lease timeout its silence is judged against.
+2. ``worker_poll`` — long-poll for a lease (token + spec + trace
+   context); run it with :func:`~repro.service.worker.execute_jobspec`.
+3. ``worker_result`` — push the outcome back, along with a telemetry
+   fragment (a fresh per-job metrics snapshot plus the ``worker.attempt``
+   span parented on the scheduler's attempt context), so the server's
+   stitched trace and histograms see through the process boundary.
+
+A daemon heartbeat thread renews the worker's lease — and the lease
+tokens of whatever it is running — every ``heartbeat_s``, on its own
+TCP connections, so a long job never looks like a dead worker.  Kill
+the process (SIGKILL included) and both renewals stop; the coordinator
+expires the leases and re-queues the jobs on the surviving workers.
+
+The loop is deliberately crash-only: there is no state to recover on
+restart.  A worker that was expired while partitioned simply
+re-registers when told to (``{"reregister": true}`` from a poll, or
+``known: false`` from a heartbeat) and keeps pulling; any result it
+still delivers under a dead token is dropped server-side as stale.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.stitch import make_span, now_ns
+from repro.obs.tracectx import TraceContext
+from repro.service.jobs import JobSpec
+from repro.service.server import TransportError, request_sync
+from repro.service.worker import execute_jobspec
+
+#: Consecutive failed server round-trips before the worker gives up —
+#: covers the server being gone for ~connect_retry_s * this long.
+MAX_CONNECT_FAILURES = 20
+
+
+class RemoteWorker:
+    """One pull-based worker process attached to a fleet server.
+
+    Args:
+        host/port: the fleet server's line-JSON TCP endpoint.
+        runner: callable ``(JobSpec) -> dict`` executed per lease
+            (tests substitute stubs; production uses the simulator).
+        worker_id: fixed id to register under (None = server-minted).
+        poll_timeout_s: long-poll window per ``worker_poll`` request.
+        telemetry: ship per-job metrics snapshots and worker spans back
+            with each result.
+        connect_retry_s: pause between retries when the server is
+            unreachable.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        runner=execute_jobspec,
+        worker_id: str | None = None,
+        poll_timeout_s: float = 5.0,
+        telemetry: bool = True,
+        connect_retry_s: float = 0.5,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.runner = runner
+        self.worker_id = worker_id
+        self.poll_timeout_s = poll_timeout_s
+        self.telemetry = telemetry
+        self.connect_retry_s = connect_retry_s
+        self.heartbeat_s = 1.0
+        self.jobs_run = 0
+        self._halt = threading.Event()
+        self._lock = threading.Lock()
+        self._running_tokens: list[str] = []
+        self._hb_thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------- transport
+    def _rpc(self, payload: dict, timeout: float = 30.0) -> dict:
+        reply = request_sync(self.host, self.port, payload, timeout=timeout)
+        if not reply.get("ok"):
+            raise TransportError(
+                f"server refused {payload.get('op')}: {reply.get('error')}"
+            )
+        return reply
+
+    def _register(self) -> None:
+        reply = self._rpc({
+            "op": "worker_register",
+            "worker_id": self.worker_id,
+            "pid": os.getpid(),
+        })
+        self.worker_id = reply["worker_id"]
+        self.heartbeat_s = float(reply.get("heartbeat_s", 1.0))
+
+    # ------------------------------------------------------------- heartbeat
+    def _heartbeat_loop(self) -> None:
+        while not self._halt.wait(self.heartbeat_s):
+            with self._lock:
+                running = list(self._running_tokens)
+            try:
+                reply = self._rpc({
+                    "op": "worker_heartbeat",
+                    "worker_id": self.worker_id,
+                    "running": running,
+                })
+            except (TransportError, OSError):
+                continue  # the poll loop owns giving-up decisions
+            if not reply.get("known"):
+                try:
+                    self._register()
+                except (TransportError, OSError):
+                    continue
+
+    # ------------------------------------------------------------------ jobs
+    def _run_lease(self, lease: dict) -> None:
+        token = lease["token"]
+        with self._lock:
+            self._running_tokens.append(token)
+        registry = None
+        if self.telemetry:
+            registry = MetricsRegistry()
+            obs_metrics.install(registry)
+        ctx = TraceContext.from_wire(lease.get("trace"))
+        spec = JobSpec.from_json(lease["spec"])
+        begin_ns = now_ns()
+        try:
+            try:
+                result = self.runner(spec)
+                kind, payload = "ok", result
+            except Exception as exc:  # noqa: BLE001 - reported as err outcome
+                kind, payload = "err", f"{type(exc).__name__}: {exc}"
+        finally:
+            if registry is not None:
+                obs_metrics.uninstall()
+            with self._lock:
+                self._running_tokens.remove(token)
+        aux: dict = {"pid": os.getpid(), "worker_id": self.worker_id}
+        if registry is not None:
+            aux["metrics"] = registry.snapshot()
+        if ctx is not None:
+            aux["spans"] = [make_span(
+                f"worker.attempt:{spec.label}", "worker",
+                begin_ns, now_ns(), ctx=ctx.child(),
+                args={"executor": "fleet", "outcome": kind,
+                      "worker_id": self.worker_id},
+            )]
+        self.jobs_run += 1
+        self._rpc({
+            "op": "worker_result",
+            "worker_id": self.worker_id,
+            "token": token,
+            "kind": kind,
+            "payload": payload,
+            "aux": aux,
+        })
+
+    # ------------------------------------------------------------- main loop
+    def run_forever(self) -> int:
+        """Register and pull jobs until stopped; returns an exit code.
+
+        Exits 0 on a requested stop (:meth:`stop` / SIGTERM), 1 when
+        the server stayed unreachable past the failure budget.
+        """
+        failures = 0
+        while not self._halt.is_set():
+            try:
+                self._register()
+                break
+            except (TransportError, OSError):
+                failures += 1
+                if failures >= MAX_CONNECT_FAILURES:
+                    return 1
+                time.sleep(self.connect_retry_s)
+        if self._halt.is_set():
+            return 0
+        self._hb_thread = threading.Thread(
+            target=self._heartbeat_loop, name="fleet-heartbeat", daemon=True
+        )
+        self._hb_thread.start()
+        failures = 0
+        while not self._halt.is_set():
+            try:
+                reply = self._rpc(
+                    {"op": "worker_poll", "worker_id": self.worker_id,
+                     "timeout": self.poll_timeout_s},
+                    timeout=self.poll_timeout_s + 30.0,
+                )
+                failures = 0
+            except (TransportError, OSError):
+                failures += 1
+                if failures >= MAX_CONNECT_FAILURES:
+                    return 1
+                time.sleep(self.connect_retry_s)
+                continue
+            lease = reply.get("job")
+            if not lease:
+                continue
+            if lease.get("reregister"):
+                try:
+                    self._register()
+                except (TransportError, OSError):
+                    time.sleep(self.connect_retry_s)
+                continue
+            try:
+                self._run_lease(lease)
+            except (TransportError, OSError):
+                # Result delivery failed; the lease will expire and the
+                # job re-queues server-side.  Nothing to clean up here.
+                continue
+        try:
+            self._rpc({"op": "worker_bye", "worker_id": self.worker_id},
+                      timeout=5.0)
+        except (TransportError, OSError):
+            pass
+        return 0
+
+    def stop(self) -> None:
+        """Ask the loops to exit after the current poll/job."""
+        self._halt.set()
+
+
+def worker_main(host: str, port: int, worker_id: str | None = None,
+                poll_timeout_s: float = 5.0, telemetry: bool = True) -> int:
+    """CLI entry: run a :class:`RemoteWorker` until SIGTERM/SIGINT."""
+    worker = RemoteWorker(host, port, worker_id=worker_id,
+                          poll_timeout_s=poll_timeout_s, telemetry=telemetry)
+
+    def _signalled(signum, frame):
+        worker.stop()
+
+    signal.signal(signal.SIGTERM, _signalled)
+    signal.signal(signal.SIGINT, _signalled)
+    print(f"repro.service worker pulling from {host}:{port} "
+          f"(pid {os.getpid()})", flush=True)
+    code = worker.run_forever()
+    print(f"worker {worker.worker_id} exiting "
+          f"({worker.jobs_run} jobs run)", flush=True)
+    return code

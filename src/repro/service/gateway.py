@@ -1,0 +1,462 @@
+"""HTTP/REST + SSE gateway over a :class:`ServiceClient`.
+
+A small, dependency-free HTTP/1.1 server on raw asyncio streams (the
+container ships no async HTTP framework, and the protocol surface here
+is tiny enough not to want one).  One request per connection
+(``Connection: close``), JSON bodies, and a Server-Sent-Events stream
+for live job status.
+
+Routes::
+
+    POST /v1/jobs                    submit {"spec": {...}, "wait"?: bool,
+                                     "timeout"?: s} -> 202 queued (or 200
+                                     with the record when wait=true);
+                                     400 malformed; 503 + Retry-After on
+                                     backpressure
+    GET  /v1/jobs/<digest>           status snapshot; 404 unknown
+    GET  /v1/jobs/<digest>/result    block for the record (?timeout=s);
+                                     504 on timeout, 404 unknown
+    GET  /v1/jobs/<digest>/events    SSE: one "status" event per state
+                                     transition, then one "done"
+    GET  /v1/stats                   scheduler/store/fleet stats
+    GET  /metrics                    Prometheus text exposition
+    GET  /healthz                    liveness probe
+
+Telemetry: every submit mints a trace root and books a
+``gateway.request`` span above the ``client.submit`` →
+``sched.job`` → ``sched.attempt`` → ``worker.attempt`` chain, so
+stitched traces show the full causal tree from HTTP edge to (possibly
+remote) worker.  ``gateway.requests`` / ``gateway.request_s`` metrics
+are labeled by route and status code.
+
+:class:`AsyncGatewayClient` is the matching asyncio client used by the
+load generator and the integration tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import urllib.parse
+
+from repro.obs.metrics import render_prometheus
+from repro.obs.stitch import now_ns
+from repro.obs.tracectx import TraceContext
+from repro.service.client import ServiceClient
+from repro.service.jobs import JobSpec, JobStatus
+from repro.service.scheduler import (
+    BackpressureError,
+    JobHandle,
+    ServiceError,
+)
+
+_REASONS = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 500: "Internal Server Error",
+    503: "Service Unavailable", 504: "Gateway Timeout",
+}
+
+#: SSE status-poll cadence; transitions are re-read at this interval.
+SSE_POLL_S = 0.05
+
+
+class _HttpError(Exception):
+    """Route-level failure carrying an HTTP status + JSON error body."""
+
+    def __init__(self, code: int, message: str,
+                 headers: dict | None = None) -> None:
+        super().__init__(message)
+        self.code = code
+        self.headers = headers or {}
+
+
+class GatewayServer:
+    """Asyncio HTTP/SSE front-end over a ServiceClient.
+
+    Args:
+        client: the service to expose (owned by the caller; usually the
+            same client the line-JSON TCP server wraps, so both fronts
+            share one scheduler, store, and fleet).
+        host/port: bind address; port 0 picks a free port (read
+            ``gateway.port`` after :meth:`start`).
+        retry_after_s: value of the ``Retry-After`` header sent with
+            backpressure 503 responses.
+    """
+
+    def __init__(self, client: ServiceClient, host: str = "127.0.0.1",
+                 port: int = 0, retry_after_s: float = 0.5) -> None:
+        self.client = client
+        self.host = host
+        self.port = port
+        self.retry_after_s = retry_after_s
+        self._server: asyncio.AbstractServer | None = None
+        self._handles: dict[str, JobHandle] = {}
+
+    # -------------------------------------------------------------- lifecycle
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        self._server = await asyncio.start_server(
+            self._handle_conn, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        """Stop accepting connections and close the listener."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    async def serve_forever(self) -> None:
+        """Serve until cancelled (companion to :meth:`start`)."""
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    # ------------------------------------------------------------- connection
+    async def _handle_conn(self, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        t0 = now_ns()
+        route = "?"
+        code = 500
+        try:
+            parsed = await self._read_request(reader)
+            if parsed is None:
+                return
+            method, target, headers, body = parsed
+            path, _, query = target.partition("?")
+            params = dict(urllib.parse.parse_qsl(query))
+            route = f"{method} {path}"
+            try:
+                code = await self._route(
+                    method, path, params, body, writer
+                )
+            except _HttpError as exc:
+                code = exc.code
+                await self._respond(writer, exc.code, {"error": str(exc)},
+                                    extra_headers=exc.headers)
+            except BackpressureError as exc:
+                code = 503
+                await self._respond(
+                    writer, 503, {"error": f"backpressure: {exc}"},
+                    extra_headers={"Retry-After":
+                                   f"{self.retry_after_s:g}"},
+                )
+            except ServiceError as exc:
+                code = 400
+                await self._respond(writer, 400, {"error": str(exc)})
+        except (ConnectionError, asyncio.IncompleteReadError, OSError):
+            return
+        finally:
+            registry = self.client.metrics
+            if registry is not None:
+                registry.counter("gateway.requests", route=route,
+                                 code=str(code)).inc()
+                registry.histogram("gateway.request_s", route=route).observe(
+                    (now_ns() - t0) / 1e9
+                )
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    @staticmethod
+    async def _read_request(reader):
+        line = await reader.readline()
+        if not line:
+            return None
+        try:
+            method, target, _version = line.decode("ascii").split()
+        except ValueError as exc:
+            raise _HttpError(400, f"malformed request line: {line!r}") from exc
+        headers: dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            key, _, value = raw.decode("latin-1").partition(":")
+            headers[key.strip().lower()] = value.strip()
+        length = int(headers.get("content-length") or 0)
+        body = await reader.readexactly(length) if length else b""
+        return method, target, headers, body
+
+    async def _respond(self, writer: asyncio.StreamWriter, code: int,
+                       payload: dict, extra_headers: dict | None = None,
+                       content_type: str = "application/json") -> None:
+        if content_type == "application/json":
+            body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+        else:
+            body = payload if isinstance(payload, bytes) else str(
+                payload).encode()
+        head = [f"HTTP/1.1 {code} {_REASONS.get(code, 'Unknown')}",
+                f"Content-Type: {content_type}",
+                f"Content-Length: {len(body)}",
+                "Connection: close"]
+        for key, value in (extra_headers or {}).items():
+            head.append(f"{key}: {value}")
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode() + body)
+        await writer.drain()
+
+    # ----------------------------------------------------------------- routes
+    async def _route(self, method: str, path: str, params: dict,
+                     body: bytes, writer: asyncio.StreamWriter) -> int:
+        if path == "/healthz":
+            await self._respond(writer, 200, {"ok": True})
+            return 200
+        if path == "/metrics":
+            snapshot = self.client.metrics_snapshot()
+            if snapshot is None:
+                raise _HttpError(404, "metrics are not enabled")
+            await self._respond(writer, 200,
+                                render_prometheus(snapshot).encode(),
+                                content_type="text/plain; version=0.0.4")
+            return 200
+        if path == "/v1/stats":
+            if method != "GET":
+                raise _HttpError(405, f"{method} not allowed on {path}")
+            stats = await asyncio.to_thread(self.client.stats)
+            await self._respond(writer, 200, {"ok": True, "stats": stats})
+            return 200
+        if path == "/v1/jobs":
+            if method != "POST":
+                raise _HttpError(405, f"{method} not allowed on {path}")
+            return await self._route_submit(body, writer)
+        if path.startswith("/v1/jobs/"):
+            if method != "GET":
+                raise _HttpError(405, f"{method} not allowed on {path}")
+            rest = path[len("/v1/jobs/"):]
+            digest, _, sub = rest.partition("/")
+            handle = self._handles.get(digest)
+            if handle is None:
+                raise _HttpError(404, f"unknown job {digest!r}")
+            if sub == "":
+                await self._respond(writer, 200, self._status_body(handle))
+                return 200
+            if sub == "result":
+                return await self._route_result(handle, params, writer)
+            if sub == "events":
+                return await self._route_events(handle, writer)
+            raise _HttpError(404, f"unknown resource {sub!r}")
+        raise _HttpError(404, f"no route for {path}")
+
+    def _status_body(self, handle: JobHandle) -> dict:
+        return {
+            "ok": True,
+            "digest": handle.digest,
+            "status": handle.status.value,
+            "from_cache": handle.from_cache,
+        }
+
+    async def _route_submit(self, body: bytes,
+                            writer: asyncio.StreamWriter) -> int:
+        try:
+            request = json.loads(body or b"")
+        except json.JSONDecodeError as exc:
+            raise _HttpError(400, f"body is not valid JSON: {exc}") from exc
+        if not isinstance(request, dict) or "spec" not in request:
+            raise _HttpError(400, 'body must be {"spec": {...}, ...}')
+        try:
+            spec = JobSpec.from_json(request["spec"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise _HttpError(400, f"bad spec: {exc}") from exc
+        ctx = None
+        begin = now_ns()
+        if self.client.traces is not None:
+            ctx = TraceContext.root()
+        # block=False: a full shard queue surfaces as 503 + Retry-After
+        # instead of stalling the event loop until space frees up.
+        handle = self.client.submit(spec, block=False, trace=ctx)
+        if ctx is not None:
+            self.client.traces.span(
+                f"gateway.request:{spec.label}", "gateway", begin, now_ns(),
+                ctx=ctx, args={"route": "POST /v1/jobs",
+                               "digest": handle.digest[:12]},
+            )
+        self._handles[handle.digest] = handle
+        if request.get("wait"):
+            return await self._route_result(
+                handle, {"timeout": request.get("timeout")}, writer
+            )
+        await self._respond(writer, 202, self._status_body(handle))
+        return 202
+
+    async def _route_result(self, handle: JobHandle, params: dict,
+                            writer: asyncio.StreamWriter) -> int:
+        timeout = params.get("timeout")
+        timeout = float(timeout) if timeout not in (None, "") else None
+        try:
+            record = await asyncio.to_thread(handle.result, timeout)
+        except TimeoutError as exc:
+            raise _HttpError(
+                504, f"job {handle.digest[:12]} still "
+                     f"{handle.status.value}: {exc}"
+            ) from exc
+        except ServiceError as exc:
+            body = self._status_body(handle)
+            body.update(ok=False, error=str(exc))
+            await self._respond(writer, 200, body)
+            return 200
+        body = self._status_body(handle)
+        body["record"] = record
+        await self._respond(writer, 200, body)
+        return 200
+
+    async def _route_events(self, handle: JobHandle,
+                            writer: asyncio.StreamWriter) -> int:
+        head = ("HTTP/1.1 200 OK\r\n"
+                "Content-Type: text/event-stream\r\n"
+                "Cache-Control: no-cache\r\n"
+                "Connection: close\r\n\r\n")
+        writer.write(head.encode())
+        await writer.drain()
+        seq = 0
+        last: JobStatus | None = None
+        while True:
+            status = handle.status
+            if status is not last:
+                last = status
+                event = {"seq": seq, "digest": handle.digest,
+                         "status": status.value}
+                writer.write(
+                    f"event: status\ndata: {json.dumps(event)}\n\n".encode()
+                )
+                await writer.drain()
+                seq += 1
+            if status.terminal:
+                break
+            await asyncio.sleep(SSE_POLL_S)
+        done = {"seq": seq, "digest": handle.digest, "status": last.value}
+        writer.write(f"event: done\ndata: {json.dumps(done)}\n\n".encode())
+        await writer.drain()
+        return 200
+
+
+class AsyncGatewayClient:
+    """Asyncio client for :class:`GatewayServer` (one request per conn).
+
+    Args:
+        host/port: the gateway's HTTP endpoint.
+    """
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+
+    async def _request(self, method: str, path: str,
+                       body: dict | None = None):
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            payload = b""
+            if body is not None:
+                payload = json.dumps(body).encode()
+            head = (f"{method} {path} HTTP/1.1\r\n"
+                    f"Host: {self.host}:{self.port}\r\n"
+                    f"Content-Length: {len(payload)}\r\n"
+                    f"Content-Type: application/json\r\n"
+                    f"Connection: close\r\n\r\n")
+            writer.write(head.encode() + payload)
+            await writer.drain()
+            status_line = await reader.readline()
+            code = int(status_line.split()[1])
+            headers: dict[str, str] = {}
+            while True:
+                raw = await reader.readline()
+                if raw in (b"\r\n", b"\n", b""):
+                    break
+                key, _, value = raw.decode("latin-1").partition(":")
+                headers[key.strip().lower()] = value.strip()
+            raw_body = await reader.read()
+            return code, headers, raw_body
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _json(self, method: str, path: str, body: dict | None = None):
+        code, headers, raw = await self._request(method, path, body)
+        try:
+            decoded = json.loads(raw) if raw else {}
+        except json.JSONDecodeError:
+            decoded = {"raw": raw.decode("utf-8", "replace")}
+        return code, headers, decoded
+
+    async def submit(self, spec: JobSpec, wait: bool = False,
+                     timeout: float | None = None):
+        """POST the spec; returns ``(http_code, response_dict)``."""
+        body = {"spec": spec.to_json(), "wait": wait}
+        if timeout is not None:
+            body["timeout"] = timeout
+        code, _, decoded = await self._json("POST", "/v1/jobs", body)
+        return code, decoded
+
+    async def status(self, digest: str):
+        """GET one job's status; returns ``(http_code, response_dict)``."""
+        code, _, decoded = await self._json("GET", f"/v1/jobs/{digest}")
+        return code, decoded
+
+    async def result(self, digest: str, timeout: float | None = None):
+        """GET one job's record, blocking server-side until done."""
+        path = f"/v1/jobs/{digest}/result"
+        if timeout is not None:
+            path += f"?timeout={timeout:g}"
+        code, _, decoded = await self._json("GET", path)
+        return code, decoded
+
+    async def events(self, digest: str):
+        """Stream SSE events for a job until its ``done`` event.
+
+        Yields ``(event_name, data_dict)`` tuples in arrival order.
+        """
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            writer.write((f"GET /v1/jobs/{digest}/events HTTP/1.1\r\n"
+                          f"Host: {self.host}:{self.port}\r\n"
+                          f"Connection: close\r\n\r\n").encode())
+            await writer.drain()
+            status_line = await reader.readline()
+            code = int(status_line.split()[1])
+            if code != 200:
+                raise ServiceError(f"events stream refused: HTTP {code}")
+            while (await reader.readline()) not in (b"\r\n", b"\n", b""):
+                pass  # drain response headers
+            event_name = None
+            while True:
+                raw = await reader.readline()
+                if not raw:
+                    break
+                line = raw.decode().rstrip("\r\n")
+                if line.startswith("event: "):
+                    event_name = line[len("event: "):]
+                elif line.startswith("data: ") and event_name is not None:
+                    yield event_name, json.loads(line[len("data: "):])
+                    if event_name == "done":
+                        break
+                    event_name = None
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def stats(self) -> dict:
+        """GET /v1/stats; returns the stats dict."""
+        code, _, decoded = await self._json("GET", "/v1/stats")
+        if code != 200:
+            raise ServiceError(f"stats failed: HTTP {code}: {decoded}")
+        return decoded["stats"]
+
+    async def metrics_text(self) -> str:
+        """GET /metrics; returns the Prometheus exposition text."""
+        code, _, raw = await self._request("GET", "/metrics")
+        if code != 200:
+            raise ServiceError(f"metrics failed: HTTP {code}")
+        return raw.decode()
+
+    async def healthz(self) -> bool:
+        """GET /healthz; True when the gateway answers 200."""
+        code, _, _ = await self._json("GET", "/healthz")
+        return code == 200

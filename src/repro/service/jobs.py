@@ -44,6 +44,29 @@ class JobStatus(enum.Enum):
         )
 
 
+def parse_sleep_ms(config: str) -> float:
+    """Duration of a ``kind="sleep"`` job from its config, e.g. ``"80ms"``.
+
+    Sleep jobs are the service plane's load-test workload: they hold a
+    worker for a fixed wall-clock time without burning CPU, so fleet
+    capacity benchmarks measure dispatch/queueing rather than host
+    core count.  Raises ValueError for anything but ``"<number>ms"``.
+    """
+    if not config.endswith("ms"):
+        raise ValueError(
+            f'sleep job config must look like "80ms", got {config!r}'
+        )
+    try:
+        duration = float(config[:-2])
+    except ValueError as exc:
+        raise ValueError(
+            f'sleep job config must look like "80ms", got {config!r}'
+        ) from exc
+    if duration < 0:
+        raise ValueError(f"sleep duration must be >= 0, got {config!r}")
+    return duration
+
+
 @lru_cache(maxsize=None)
 def _machine_fingerprint(profile: str) -> tuple[str, int, float]:
     """(preset name, memory bytes, workload scale) a profile resolves to."""
@@ -63,7 +86,7 @@ class JobSpec:
     ``timeout_s``, ``max_retries``.
     """
 
-    kind: str = "bench"  # "bench" | "synthetic"
+    kind: str = "bench"  # "bench" | "synthetic" | "sleep"
     bench: str = "lbm"
     policy: str = "buddy"  # Policy *value* label, e.g. "mem+llc"
     config: str = "16_threads_4_nodes"
@@ -88,8 +111,10 @@ class JobSpec:
     max_retries: int = 2
 
     def __post_init__(self) -> None:
-        if self.kind not in ("bench", "synthetic"):
+        if self.kind not in ("bench", "synthetic", "sleep"):
             raise ValueError(f"unknown job kind {self.kind!r}")
+        if self.kind == "sleep":
+            parse_sleep_ms(self.config)  # validate eagerly, not in the worker
         if self.profile not in PROFILES:
             raise ValueError(f"unknown profile {self.profile!r}")
         if self.max_retries < 0:

@@ -1,0 +1,215 @@
+"""Deterministic open-loop load generator for the job service.
+
+Builds a *schedule* — a list of (arrival time, catalog index) pairs —
+from three classical ingredients:
+
+* **Poisson arrivals**: exponential inter-arrival gaps at a per-phase
+  rate (open loop — arrivals do not wait for completions, so queueing
+  is measured rather than masked).
+* **Zipf popularity**: which catalog spec each arrival asks for is
+  drawn from a Zipf(s) distribution over the catalog, so a few hot
+  specs repeat (exercising dedup + cache) while the tail stays cold.
+* **Burst phases**: the rate is a piecewise constant — each phase is
+  ``(duration_s, rate_jobs_s)`` — so a schedule can ramp, spike, and
+  cool down.
+
+Everything is derived from one :class:`random.Random` seed; the
+schedule is a pure function of the constructor arguments.
+:meth:`LoadGen.canonical` serializes it to a canonical string that is
+byte-identical across runs, platforms, and processes — tests pin
+determinism by comparing these strings, and the perf harness records
+its hash so a trajectory point names the exact load it measured.
+
+Replay is clock-injected: :meth:`LoadGen.run` sleeps on any
+:class:`~repro.service.clock.Clock` (the real one in benchmarks, a
+:class:`~repro.service.clock.FakeClock` in tests) and calls a submit
+function at each arrival.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass
+
+from repro.service.clock import SYSTEM_CLOCK, Clock
+from repro.service.jobs import JobSpec
+
+#: Default burst profile: warm-up trickle, sustained burst, cool-down.
+DEFAULT_PHASES = ((1.0, 8.0), (2.0, 32.0), (1.0, 12.0))
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One scheduled submission: when, and which catalog spec."""
+
+    t_s: float      #: seconds after load start
+    index: int      #: catalog index of the spec to submit
+    seq: int        #: arrival sequence number (0-based)
+
+
+class LoadGen:
+    """Seeded open-loop Poisson/Zipf/burst load over a spec catalog.
+
+    Args:
+        seed: master seed; equal seeds (and equal other args) produce
+            byte-identical schedules everywhere.
+        jobs: total arrivals to generate (phases repeat from the start
+            if they run out before ``jobs`` arrivals exist).
+        catalog: number of distinct :class:`JobSpec` entries; arrival
+            popularity is Zipf over this catalog.
+        zipf_s: Zipf skew exponent (larger = hotter head; 0 = uniform).
+        phases: ``(duration_s, rate_jobs_s)`` pairs, in order.
+        kind / profile / config / policy: forwarded to every catalog
+            spec (mini synthetic specs by default; ``kind="sleep"``
+            with a ``"<n>ms"`` config builds latency-bound load-test
+            jobs that measure the service plane rather than the
+            simulator).
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        jobs: int = 64,
+        catalog: int = 16,
+        zipf_s: float = 1.1,
+        phases: tuple = DEFAULT_PHASES,
+        kind: str = "synthetic",
+        profile: str = "mini",
+        config: str = "4_threads_4_nodes",
+        policy: str = "buddy",
+    ) -> None:
+        if jobs < 0 or catalog <= 0:
+            raise ValueError("jobs must be >= 0 and catalog > 0")
+        if not phases or any(d <= 0 or r <= 0 for d, r in phases):
+            raise ValueError("phases must be (duration>0, rate>0) pairs")
+        self.seed = seed
+        self.jobs = jobs
+        self.catalog = catalog
+        self.zipf_s = zipf_s
+        self.phases = tuple((float(d), float(r)) for d, r in phases)
+        self.kind = kind
+        self.profile = profile
+        self.config = config
+        self.policy = policy
+        self._schedule: list[Arrival] | None = None
+
+    # --------------------------------------------------------------- catalog
+    def catalog_specs(self) -> list[JobSpec]:
+        """The distinct specs arrivals index into (digest-distinct)."""
+        return [
+            JobSpec(kind=self.kind, bench=self.kind, policy=self.policy,
+                    config=self.config, rep=i, seed=self.seed,
+                    profile=self.profile)
+            for i in range(self.catalog)
+        ]
+
+    # -------------------------------------------------------------- schedule
+    def schedule(self) -> list[Arrival]:
+        """Generate (and cache) the arrival schedule."""
+        if self._schedule is not None:
+            return self._schedule
+        rng = random.Random(f"loadgen:{self.seed}")
+        weights = [1.0 / (rank ** self.zipf_s)
+                   for rank in range(1, self.catalog + 1)]
+        total_w = sum(weights)
+        cdf = []
+        acc = 0.0
+        for w in weights:
+            acc += w
+            cdf.append(acc / total_w)
+        # Popularity rank -> catalog index shuffle, so "hot" specs are
+        # spread over the digest space (and therefore over ring shards)
+        # instead of clustering at low reps.
+        rank_to_index = list(range(self.catalog))
+        rng.shuffle(rank_to_index)
+
+        arrivals: list[Arrival] = []
+        t = 0.0
+        phase_i = 0
+        phase_left = self.phases[0][0]
+        while len(arrivals) < self.jobs:
+            rate = self.phases[phase_i][1]
+            gap = rng.expovariate(rate)
+            while gap > phase_left:
+                # Arrival lands past this phase's end: spend the
+                # remaining phase time, re-draw the residual gap at the
+                # next phase's rate (memorylessness makes this exact).
+                t += phase_left
+                phase_i = (phase_i + 1) % len(self.phases)
+                phase_left = self.phases[phase_i][0]
+                rate = self.phases[phase_i][1]
+                gap = rng.expovariate(rate)
+            t += gap
+            phase_left -= gap
+            u = rng.random()
+            rank = next(i for i, edge in enumerate(cdf) if u <= edge)
+            arrivals.append(Arrival(t_s=t, index=rank_to_index[rank],
+                                    seq=len(arrivals)))
+        self._schedule = arrivals
+        return arrivals
+
+    def canonical(self) -> str:
+        """Canonical, byte-stable serialization of the whole schedule.
+
+        Fixed-precision times plus the full parameterization, rendered
+        with sorted keys and no whitespace variance — equal seeds yield
+        equal strings in any process on any platform.
+        """
+        return json.dumps(
+            {
+                "seed": self.seed,
+                "jobs": self.jobs,
+                "catalog": self.catalog,
+                "zipf_s": f"{self.zipf_s:.6f}",
+                "phases": [[f"{d:.6f}", f"{r:.6f}"] for d, r in self.phases],
+                "kind": self.kind,
+                "profile": self.profile,
+                "config": self.config,
+                "policy": self.policy,
+                "arrivals": [
+                    [f"{a.t_s:.9f}", a.index] for a in self.schedule()
+                ],
+            },
+            sort_keys=True, separators=(",", ":"),
+        )
+
+    def schedule_digest(self) -> str:
+        """sha256 of :meth:`canonical` — the schedule's identity."""
+        return hashlib.sha256(self.canonical().encode()).hexdigest()
+
+    def stats(self) -> dict:
+        """Shape summary: span, popularity concentration, hot index."""
+        arrivals = self.schedule()
+        counts: dict[int, int] = {}
+        for a in arrivals:
+            counts[a.index] = counts.get(a.index, 0) + 1
+        top = max(counts.values()) if counts else 0
+        return {
+            "jobs": len(arrivals),
+            "span_s": round(arrivals[-1].t_s, 3) if arrivals else 0.0,
+            "distinct_specs": len(counts),
+            "hottest_share": round(top / len(arrivals), 3) if arrivals else 0.0,
+        }
+
+    # ----------------------------------------------------------------- replay
+    def run(self, submit, clock: Clock = SYSTEM_CLOCK) -> int:
+        """Open-loop replay: sleep to each arrival, call ``submit``.
+
+        ``submit(spec, arrival)`` is invoked per arrival with the
+        catalog spec and its :class:`Arrival`.  Returns the number of
+        submissions made.  Open loop means lateness is never absorbed:
+        if submission falls behind, subsequent arrivals fire
+        back-to-back until the schedule catches up.
+        """
+        specs = self.catalog_specs()
+        start = clock.monotonic()
+        n = 0
+        for arrival in self.schedule():
+            delay = (start + arrival.t_s) - clock.monotonic()
+            if delay > 0:
+                clock.sleep(delay)
+            submit(specs[arrival.index], arrival)
+            n += 1
+        return n

@@ -266,8 +266,12 @@ class Scheduler:
         store: result store for content-addressed reuse (None disables
             caching entirely — every submit runs).
         shards: worker threads / maximum concurrent jobs.
-        executor: ``"process"`` (isolated child per attempt) or
-            ``"inline"`` (run in the shard thread).
+        executor: ``"process"`` (isolated child per attempt),
+            ``"inline"`` (run in the shard thread), or ``"fleet"``
+            (dispatch to registered remote workers through ``fleet``).
+        fleet: the :class:`~repro.service.fleet.FleetCoordinator`
+            attempts are routed through; required for (and only
+            meaningful with) the ``"fleet"`` executor.
         runner: callable ``(JobSpec) -> dict`` executed per attempt;
             defaults to the real simulator worker.  Tests substitute
             fault-injecting runners here.
@@ -322,11 +326,14 @@ class Scheduler:
         store_failure_limit: int = 3,
         metrics: MetricsRegistry | None = None,
         traces: TraceCollector | None = None,
+        fleet=None,
     ) -> None:
         if shards < 1:
             raise ValueError("shards must be >= 1")
-        if executor not in ("process", "inline"):
+        if executor not in ("process", "inline", "fleet"):
             raise ValueError(f"unknown executor {executor!r}")
+        if executor == "fleet" and fleet is None:
+            raise ValueError("the fleet executor needs a FleetCoordinator")
         if queue_capacity < 1:
             raise ValueError("queue_capacity must be >= 1")
         if breaker_threshold is not None and breaker_threshold < 1:
@@ -336,6 +343,7 @@ class Scheduler:
         self.store = store
         self.shards = shards
         self.executor = executor
+        self.fleet = fleet
         self.runner = runner
         self.queue_capacity = queue_capacity
         self.backoff_base_s = backoff_base_s
@@ -803,6 +811,15 @@ class Scheduler:
             return ("crash",
                     "faultline: injected worker kill "
                     f"(attempt {attempt}, digest {job.digest[:12]})")
+        if self.executor == "fleet":
+            # The coordinator re-queues lease expiries transparently;
+            # only exhausted re-queue budgets come back as crashes, and
+            # those flow into the ordinary retry/breaker machinery.
+            return self.fleet.execute(
+                job.spec, job.digest, trace=ctx,
+                cancel_check=lambda: job.cancel_requested,
+                timeout_s=job.spec.timeout_s,
+            )
         if self.executor == "inline":
             begin = now_ns()
             try:
@@ -981,6 +998,8 @@ class Scheduler:
             out["executor"] = self.executor
         if self.store is not None:
             out["store"] = self.store.stats()
+        if self.fleet is not None:
+            out["fleet"] = self.fleet.stats()
         return out
 
     def shutdown(self, wait: bool = True, cancel_pending: bool = False) -> None:

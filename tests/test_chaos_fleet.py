@@ -1,0 +1,89 @@
+"""Chaos campaigns against the worker fleet (``executor="fleet"``).
+
+The degradation invariant extends unchanged to the distributed plane:
+with workers being killed, hung, and disconnected mid-lease, every job
+must still finish with a record **bit-identical** to the fault-free
+*inline* baseline or raise a typed :class:`ServiceError` — never a
+hang, never silently-wrong data.  Because the baseline is the inline
+executor, a passing case simultaneously proves fleet results match
+serial ones under fire.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faultline import NO_FAULTS, FaultPlan, FaultRule
+from repro.faultline.campaign import (
+    FLEET_CAMPAIGN_SITES,
+    FLEET_WORKERS,
+    baseline_records,
+    campaign_specs,
+    random_fleet_plan,
+    run_campaign,
+    run_case,
+)
+
+
+@pytest.fixture(scope="module")
+def inline_baseline():
+    """One fault-free inline reference shared by every fleet case."""
+    specs = campaign_specs()
+    return specs, baseline_records(specs, "inline")
+
+
+def test_fleet_plan_generation_is_deterministic_and_bounded():
+    for index in range(32):
+        plan = random_fleet_plan(seed=5, index=index)
+        assert plan == random_fleet_plan(seed=5, index=index)
+        assert plan.rules, "a case with no rules tests nothing"
+        for rule in plan.rules:
+            assert rule.site in FLEET_CAMPAIGN_SITES
+            if rule.site == "fleet.worker.kill":
+                # The fleet must never empty: zero workers can only
+                # strand jobs, not degrade gracefully.
+                assert rule.max_fires is not None
+                assert rule.max_fires < FLEET_WORKERS
+            if rule.site == "fleet.worker.hang":
+                assert rule.arg is not None and rule.arg <= 1.0
+    assert (random_fleet_plan(seed=5, index=0)
+            != random_fleet_plan(seed=6, index=0))
+
+
+def test_fault_free_fleet_matches_inline_baseline(inline_baseline):
+    """NO_FAULTS on the fleet reproduces inline records bit-for-bit."""
+    specs, baseline = inline_baseline
+    assert run_case(NO_FAULTS, specs, baseline, executor="fleet") is None
+
+
+def test_fleet_survives_maximum_worker_kills(inline_baseline):
+    """Killing all-but-one worker at probability 1 must still drain."""
+    specs, baseline = inline_baseline
+    plan = FaultPlan(seed=99, rules=(
+        FaultRule(site="fleet.worker.kill", probability=1.0,
+                  max_fires=FLEET_WORKERS - 1),
+    ))
+    assert run_case(plan, specs, baseline, executor="fleet") is None
+
+
+def test_fleet_survives_hang_and_disconnect_mix(inline_baseline):
+    """Stale results and dropped leases re-queue transparently."""
+    specs, baseline = inline_baseline
+    plan = FaultPlan(seed=17, rules=(
+        FaultRule(site="fleet.worker.hang", probability=0.5,
+                  max_fires=2, arg=0.4),
+        FaultRule(site="fleet.worker.disconnect", probability=0.5,
+                  max_fires=2),
+    ))
+    assert run_case(plan, specs, baseline, executor="fleet") is None
+
+
+def test_fleet_campaign_invariant_holds():
+    """A short seeded fleet campaign: every random case must hold."""
+    result = run_campaign(budget_s=60.0, seed=7, max_cases=2,
+                          executor="fleet")
+    assert result.cases_run == 2
+    assert result.ok, (
+        f"case {result.failure.case_index}: {result.failure.detail}\n"
+        f"plan: {result.failure.plan.dumps()}"
+    )

@@ -1,0 +1,126 @@
+"""Property tests for the consistent-hash ring (fleet routing).
+
+Hypothesis pins the three properties the fleet's correctness rests on:
+
+* **determinism** — assignment is a pure function of (ring membership,
+  key): independently built rings with the same nodes agree on every
+  key, regardless of add order.
+* **stability under growth** — adding a node only *steals* keys for
+  the new node; no key moves between two surviving nodes.
+* **bounded movement** — removing a node relocates exactly that node's
+  keys; everything else stays put.  Together these bound churn when
+  workers join/leave the fleet mid-load.
+
+Plus distribution sanity: with enough virtual nodes, no single node
+owns everything for a spread of keys.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service.ring import HashRing
+
+names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789-", min_size=1, max_size=12
+)
+node_sets = st.sets(names, min_size=1, max_size=8)
+keys = st.lists(
+    st.binary(min_size=1, max_size=32).map(
+        lambda b: hashlib.sha256(b).hexdigest()
+    ),
+    min_size=1, max_size=64, unique=True,
+)
+
+
+def _ring(nodes, replicas: int = 64) -> HashRing:
+    ring = HashRing(replicas=replicas)
+    for node in nodes:
+        ring.add(node)
+    return ring
+
+
+@given(nodes=node_sets, ks=keys)
+@settings(max_examples=60, deadline=None)
+def test_assignment_is_deterministic_and_order_free(nodes, ks):
+    forward = _ring(sorted(nodes))
+    backward = _ring(sorted(nodes, reverse=True))
+    for key in ks:
+        owner = forward.assign(key)
+        assert owner in nodes
+        assert backward.assign(key) == owner
+
+
+@given(nodes=node_sets, ks=keys, new=names)
+@settings(max_examples=60, deadline=None)
+def test_adding_a_node_only_steals_keys_for_itself(nodes, ks, new):
+    if new in nodes:
+        return
+    before = _ring(nodes).assignments(ks)
+    grown = _ring(nodes)
+    grown.add(new)
+    after = grown.assignments(ks)
+    moved = {k for k in ks if before[k] != after[k]}
+    for key in moved:
+        assert after[key] == new, (
+            f"key {key[:8]} moved {before[key]} -> {after[key]}, "
+            f"not to the new node {new}"
+        )
+
+
+@given(nodes=st.sets(names, min_size=2, max_size=8), ks=keys)
+@settings(max_examples=60, deadline=None)
+def test_removing_a_node_only_moves_its_own_keys(nodes, ks):
+    victim = sorted(nodes)[0]
+    before = _ring(nodes).assignments(ks)
+    shrunk = _ring(nodes)
+    shrunk.remove(victim)
+    after = shrunk.assignments(ks)
+    for key in ks:
+        if before[key] == victim:
+            assert after[key] != victim
+            assert after[key] in nodes
+        else:
+            assert after[key] == before[key], (
+                f"key {key[:8]} owned by surviving {before[key]} moved"
+            )
+
+
+@given(nodes=node_sets, ks=keys)
+@settings(max_examples=60, deadline=None)
+def test_idempotent_membership(nodes, ks):
+    ring = _ring(nodes)
+    baseline = ring.assignments(ks)
+    for node in nodes:
+        ring.add(node)  # double-add must not shift any vnode points
+    assert ring.assignments(ks) == baseline
+    ring.remove("never-added")  # unknown removal is a no-op
+    assert ring.assignments(ks) == baseline
+
+
+def test_distribution_spreads_over_nodes():
+    ring = _ring([f"w{i}" for i in range(4)], replicas=64)
+    ks = [hashlib.sha256(str(i).encode()).hexdigest() for i in range(512)]
+    owners = ring.assignments(ks)
+    counts = {node: 0 for node in ring.nodes}
+    for owner in owners.values():
+        counts[owner] += 1
+    assert all(count > 0 for count in counts.values()), counts
+    assert max(counts.values()) < len(ks) * 0.6, (
+        f"one node owns most keys: {counts}"
+    )
+
+
+def test_empty_ring_raises():
+    ring = HashRing()
+    with pytest.raises(LookupError):
+        ring.assign("deadbeef")
+    ring.add("only")
+    assert ring.assign("deadbeef") == "only"
+    ring.remove("only")
+    with pytest.raises(LookupError):
+        ring.assign("deadbeef")

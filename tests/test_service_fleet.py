@@ -1,0 +1,431 @@
+"""Distributed fleet, end to end: real server + real worker processes.
+
+The headline suite for the fleet executor.  Each integration test
+boots the line-JSON TCP server (fleet executor) in a background event
+loop, spawns ``python -m repro.service worker`` OS processes that pull
+jobs over the wire, and drives load through the shared scheduler:
+
+* a 64-arrival zipf LoadGen schedule drains to results bit-identical
+  to a serial inline run of the same catalog;
+* SIGKILLing a worker mid-flight re-queues its leased jobs onto the
+  survivors (lease expiry, not scheduler retries) and everything still
+  completes;
+* stitched traces keep one causal tree per job spanning gateway →
+  scheduler → worker across three+ OS processes.
+
+The FakeClock unit tests at the bottom pin the coordinator's lease
+state machine (expiry, re-route, stale tokens, re-queue budget)
+without any real process or real time.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.stitch import (
+    TraceCollector,
+    span_index,
+    trace_roots,
+    write_stitched_perfetto,
+)
+from repro.service import FakeClock, JobSpec, ServiceClient, ServiceServer
+from repro.service.fleet import FleetCoordinator
+from repro.service.loadgen import LoadGen
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# Compressed burst phases so open-loop replay takes ~1s of wall clock.
+FAST_PHASES = ((0.4, 48.0), (0.4, 120.0), (0.2, 64.0))
+
+
+class FleetHarness:
+    """A fleet service plus N real worker subprocesses."""
+
+    def __init__(self, workers: int = 3, shards: int = 8,
+                 lease_timeout_s: float = 4.0, heartbeat_s: float = 1.0):
+        self.registry = MetricsRegistry()
+        self.collector = TraceCollector()
+        self.fleet = FleetCoordinator(
+            lease_timeout_s=lease_timeout_s, heartbeat_s=heartbeat_s,
+            metrics=self.registry, traces=self.collector,
+        )
+        self.client = ServiceClient(
+            store=":memory:", shards=shards, executor="fleet",
+            metrics=self.registry, traces=self.collector, fleet=self.fleet,
+        )
+        self.server = ServiceServer(self.client, port=0)
+        self.procs: list[subprocess.Popen] = []
+        self._workers = workers
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+
+    def __enter__(self) -> "FleetHarness":
+        started = threading.Event()
+        self._loop = asyncio.new_event_loop()
+
+        def _runner() -> None:
+            asyncio.set_event_loop(self._loop)
+            self._loop.run_until_complete(self.server.start())
+            started.set()
+            self._loop.run_until_complete(self.server.serve_forever())
+            self._loop.close()
+
+        self._thread = threading.Thread(target=_runner, daemon=True)
+        self._thread.start()
+        assert started.wait(timeout=10), "TCP server failed to start"
+        for _ in range(self._workers):
+            self.spawn_worker()
+        self.wait_live(self._workers)
+        return self
+
+    def spawn_worker(self) -> subprocess.Popen:
+        env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.service", "worker",
+             "--connect", f"127.0.0.1:{self.server.port}",
+             "--poll-timeout", "0.5"],
+            env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        self.procs.append(proc)
+        return proc
+
+    def wait_live(self, n: int, timeout: float = 30.0) -> None:
+        deadline = time.monotonic() + timeout
+        while self.fleet.stats()["live_workers"] < n:
+            assert time.monotonic() < deadline, (
+                f"only {self.fleet.stats()['live_workers']}/{n} workers "
+                "registered in time"
+            )
+            time.sleep(0.05)
+
+    def __exit__(self, *exc) -> None:
+        for proc in self.procs:
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGTERM)
+        for proc in self.procs:
+            try:
+                proc.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=5)
+        self.client.close()
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self.server._stop.set)
+            self._thread.join(timeout=15)
+
+
+def _canon(record: dict) -> str:
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+# --------------------------------------------------------------- integration
+def test_fleet_drains_zipf_load_bit_identical_to_serial():
+    """3 pull workers drain 64 zipf arrivals; results match a serial run."""
+    gen = LoadGen(seed=20, jobs=64, catalog=24, zipf_s=1.0,
+                  phases=FAST_PHASES)
+    with FleetHarness(workers=3) as harness:
+        handles = {}
+        gen.run(lambda spec, arrival: handles.setdefault(
+            spec.digest(), harness.client.submit(spec)))
+        fleet_records = {
+            digest: handle.result(timeout=120)
+            for digest, handle in handles.items()
+        }
+        assert harness.client.drain(timeout=60)
+        stats = harness.fleet.stats()
+        per_worker = [w["completed"] for w in stats["workers"].values()]
+        assert stats["completed_ok"] == len(fleet_records)
+        assert len(per_worker) == 3
+        assert sum(1 for c in per_worker if c > 0) >= 2, (
+            f"consistent-hash routing used too few workers: {per_worker}"
+        )
+
+    with ServiceClient(store=":memory:", shards=1,
+                       executor="inline") as serial:
+        serial_records = {
+            spec.digest(): serial.submit(spec).result(timeout=120)
+            for spec in gen.catalog_specs()
+        }
+
+    assert set(fleet_records) <= set(serial_records)
+    for digest, record in fleet_records.items():
+        assert _canon(record) == _canon(serial_records[digest]), (
+            f"fleet result for {digest[:12]} differs from serial run"
+        )
+
+
+def test_sigkilled_worker_jobs_requeue_and_complete():
+    """SIGKILL one worker mid-flight: its leases re-queue transparently."""
+    with FleetHarness(workers=3, lease_timeout_s=1.0,
+                      heartbeat_s=0.25) as harness:
+        specs = [JobSpec(kind="sleep", bench="sleep", config="400ms",
+                         rep=i, profile="mini") for i in range(12)]
+        handles = [harness.client.submit(spec) for spec in specs]
+
+        victim_id = None
+        deadline = time.monotonic() + 30
+        while victim_id is None:
+            assert time.monotonic() < deadline, "no worker took a lease"
+            for wid, info in harness.fleet.stats()["workers"].items():
+                if info["leased"] > 0:
+                    victim_id = wid
+                    victim_pid = info["pid"]
+                    break
+            time.sleep(0.02)
+        victim = next(p for p in harness.procs if p.pid == victim_pid)
+        victim.send_signal(signal.SIGKILL)
+        victim.wait(timeout=10)
+
+        for handle in handles:
+            record = handle.result(timeout=120)
+            assert record["duration_ms"] == 400.0
+        stats = harness.fleet.stats()
+        assert stats["requeued"] >= 1, (
+            "killing a leased worker must re-queue its jobs"
+        )
+        assert stats["requeue_exhausted"] == 0
+        assert stats["completed_ok"] == len(specs)
+        assert victim_id not in stats["workers"], "dead worker still listed"
+        # Re-queue is transparent: the scheduler never saw a crash.
+        sched = harness.client.stats()
+        assert sched["crashes"] == 0 and sched["retries"] == 0
+
+
+def test_stitched_traces_span_gateway_scheduler_and_workers(tmp_path):
+    """One causal tree per job: gateway -> scheduler -> remote worker."""
+    from repro.service.gateway import AsyncGatewayClient, GatewayServer
+
+    with FleetHarness(workers=3) as harness:
+        gateway_holder = {}
+
+        async def _start_gateway():
+            gateway = GatewayServer(harness.client, port=0)
+            await gateway.start()
+            gateway_holder["gw"] = gateway
+            return gateway.port
+
+        port = asyncio.run_coroutine_threadsafe(
+            _start_gateway(), harness._loop).result(timeout=10)
+
+        async def _drive() -> list[str]:
+            api = AsyncGatewayClient("127.0.0.1", port)
+            digests = []
+            for i in range(12):
+                spec = JobSpec(kind="sleep", bench="sleep", config="30ms",
+                               rep=i, profile="mini")
+                code, resp = await api.submit(spec)
+                assert code == 202, resp
+                digests.append(resp["digest"])
+            for digest in digests:
+                code, resp = await api.result(digest, timeout=120)
+                assert code == 200 and "record" in resp, resp
+            return digests
+
+        digests = asyncio.run(_drive())
+        assert harness.client.drain(timeout=60)
+        asyncio.run_coroutine_threadsafe(
+            gateway_holder["gw"].stop(), harness._loop).result(timeout=10)
+        spans = harness.collector.spans()
+
+    roots = trace_roots(spans)
+    index = span_index(spans)
+    by_kind: dict[str, list[dict]] = {}
+    for span in spans:
+        by_kind.setdefault(span["name"].split(":")[0], []).append(span)
+
+    assert len(by_kind["gateway.request"]) == 12
+    assert len(by_kind["worker.attempt"]) == 12
+    for trace_id, root_spans in roots.items():
+        assert len(root_spans) == 1, (
+            f"trace {trace_id[:12]} has {len(root_spans)} roots"
+        )
+        assert root_spans[0]["name"].startswith("gateway.request")
+    want = {"client.submit": "gateway.request",
+            "sched.job": "client.submit",
+            "sched.attempt": "sched.job",
+            "worker.attempt": "sched.attempt"}
+    for kind, expected_parent in want.items():
+        for span in by_kind[kind]:
+            parent = index.get(span.get("parent_span_id"))
+            assert parent is not None, f"{kind} span has no parent"
+            assert parent["name"].split(":")[0] == expected_parent
+
+    server_pid = os.getpid()
+    worker_pids = {span["pid"] for span in by_kind["worker.attempt"]}
+    assert server_pid not in worker_pids, (
+        "worker attempts must come from worker processes"
+    )
+    assert len(worker_pids) >= 2, (
+        f"12 jobs should hash across >= 2 workers, saw pids {worker_pids}"
+    )
+    gateway_pids = {span["pid"] for span in by_kind["gateway.request"]}
+    assert gateway_pids == {server_pid}
+
+    out = tmp_path / "fleet_trace.json"
+    write_stitched_perfetto(spans, str(out))
+    doc = json.loads(out.read_text())
+    events = doc["traceEvents"]
+    procs = {e["args"]["name"].split(" ")[0] for e in events
+             if e.get("ph") == "M" and e.get("name") == "process_name"}
+    assert {"gateway", "scheduler", "worker"} <= procs
+
+
+# ------------------------------------------------------- FakeClock unit tests
+def _spec(i: int = 0) -> JobSpec:
+    return JobSpec(kind="sleep", bench="sleep", config="1ms", rep=i,
+                   profile="mini")
+
+
+def _execute_in_thread(coord: FleetCoordinator, spec: JobSpec):
+    """Run coord.execute on a thread; returns (thread, outcome-box)."""
+    box: dict = {}
+
+    def _run() -> None:
+        box["outcome"] = coord.execute(spec, spec.digest())
+
+    thread = threading.Thread(target=_run, daemon=True)
+    thread.start()
+    return thread, box
+
+
+def test_lease_expiry_requeues_to_surviving_worker():
+    clock = FakeClock()
+    coord = FleetCoordinator(lease_timeout_s=5.0, clock=clock,
+                             metrics=None, poll_interval_s=0.005)
+    first = coord.register(worker_id="doomed", pid=111)["worker_id"]
+    thread, box = _execute_in_thread(coord, _spec())
+    lease = coord.poll(first, timeout=1.0)
+    assert lease and lease["token"]
+
+    # The worker goes silent past the lease timeout; a survivor joins
+    # and inherits the re-queued job.
+    clock.advance(6.0)
+    survivor = coord.register(worker_id="survivor", pid=222)["worker_id"]
+    release = coord.poll(survivor, timeout=5.0)
+    assert release and release["digest"] == lease["digest"]
+    assert release["token"] != lease["token"]
+    assert coord.complete(survivor, release["token"], "ok", {"fine": True})
+    thread.join(timeout=10)
+    assert box["outcome"] == ("ok", {"fine": True})
+    stats = coord.stats()
+    assert stats["expired_workers"] == 1
+    assert stats["requeued"] == 1
+    assert first not in stats["workers"]
+
+
+def test_stale_token_result_is_dropped():
+    clock = FakeClock()
+    coord = FleetCoordinator(lease_timeout_s=5.0, clock=clock,
+                             metrics=None, poll_interval_s=0.005)
+    coord.register(worker_id="w1", pid=1)
+    coord.register(worker_id="w2", pid=2)
+    thread, box = _execute_in_thread(coord, _spec())
+    # Find which worker owns the job's digest, lease it, then let only
+    # the lease (not the worker) expire via heartbeats without renewal.
+    lease = None
+    for wid in ("w1", "w2"):
+        lease = coord.poll(wid, timeout=0.05)
+        if lease:
+            owner = wid
+            break
+    assert lease is not None
+    # Age the token in sub-timeout steps while both workers keep
+    # heartbeating (alive) but never renew the lease token: only the
+    # per-lease expiry can fire, not the whole-worker one.
+    deadline = time.monotonic() + 10
+    while coord.stats()["requeued"] == 0:
+        assert time.monotonic() < deadline, "lease never expired"
+        clock.advance(2.0)
+        assert coord.heartbeat("w1", running=[])
+        assert coord.heartbeat("w2", running=[])
+        time.sleep(0.01)
+    # The original worker finally reports: too late, token is dead.
+    assert coord.complete(owner, lease["token"], "ok", {"late": True}) is False
+    assert coord.stats()["stale_results"] == 1
+    # The re-queued lease still completes the job.
+    release = None
+    deadline = time.monotonic() + 10
+    while release is None:
+        assert time.monotonic() < deadline
+        for wid in ("w1", "w2"):
+            release = coord.poll(wid, timeout=0.05)
+            if release:
+                winner = wid
+                break
+    assert coord.complete(winner, release["token"], "ok", {"fine": 1})
+    thread.join(timeout=10)
+    assert box["outcome"] == ("ok", {"fine": 1})
+
+
+def test_requeue_budget_exhaustion_surfaces_as_crash():
+    clock = FakeClock()
+    coord = FleetCoordinator(lease_timeout_s=2.0, requeue_limit=1,
+                             clock=clock, metrics=None,
+                             poll_interval_s=0.005)
+    coord.register(worker_id="flaky", pid=9)
+    thread, box = _execute_in_thread(coord, _spec())
+    for _ in range(2):
+        lease = None
+        deadline = time.monotonic() + 10
+        while lease is None:
+            assert time.monotonic() < deadline
+            lease = coord.poll("flaky", timeout=0.05)
+        # Keep the worker alive but never renew the lease token.
+        clock.advance(3.0)
+        assert coord.heartbeat("flaky", running=[])
+        deadline = time.monotonic() + 10
+        while coord.stats()["workers"].get("flaky", {}).get("leased"):
+            assert time.monotonic() < deadline
+            clock.advance(0.5)
+            time.sleep(0.01)
+    thread.join(timeout=10)
+    kind, message = box["outcome"]
+    assert kind == "crash"
+    assert "re-queue budget exhausted" in message
+    assert coord.stats()["requeue_exhausted"] == 1
+
+
+def test_execute_without_workers_times_out_as_crash_or_timeout():
+    clock = FakeClock()
+    coord = FleetCoordinator(clock=clock, metrics=None,
+                             poll_interval_s=0.005)
+    spec = _spec()
+    thread, box = _execute_in_thread(coord, spec)
+    time.sleep(0.05)
+    assert coord.stats()["unrouted"] == 1
+    # A worker arriving later picks up the stranded job.
+    coord.register(worker_id="late", pid=5)
+    lease = None
+    deadline = time.monotonic() + 10
+    while lease is None:
+        assert time.monotonic() < deadline
+        lease = coord.poll("late", timeout=0.05)
+    assert coord.complete("late", lease["token"], "ok", {"ok": 1})
+    thread.join(timeout=10)
+    assert box["outcome"] == ("ok", {"ok": 1})
+
+
+@pytest.mark.parametrize("kind,payload", [("ok", {"x": 1}), ("err", "boom")])
+def test_complete_outcome_kinds_round_trip(kind, payload):
+    coord = FleetCoordinator(metrics=None, poll_interval_s=0.005)
+    coord.register(worker_id="w", pid=1)
+    thread, box = _execute_in_thread(coord, _spec())
+    lease = None
+    deadline = time.monotonic() + 10
+    while lease is None:
+        assert time.monotonic() < deadline
+        lease = coord.poll("w", timeout=0.05)
+    assert coord.complete("w", lease["token"], kind, payload)
+    thread.join(timeout=10)
+    assert box["outcome"] == (kind, payload)

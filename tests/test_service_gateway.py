@@ -1,0 +1,200 @@
+"""HTTP gateway: endpoints, error codes, backpressure, SSE ordering.
+
+Everything runs in one process (inline executor, stub runners where
+noted) — the multi-process gateway→fleet path is covered by
+``test_service_fleet.py``; here the HTTP surface itself is under test:
+happy paths, 400 on malformed bodies, 404/405 on bad routes, 503 +
+``Retry-After`` under queue backpressure, and in-order SSE status
+streaming.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+from repro.obs.metrics import MetricsRegistry
+from repro.service import JobSpec, ServiceClient
+from repro.service.gateway import AsyncGatewayClient, GatewayServer
+
+
+def _spec(rep: int = 0, config: str = "1ms") -> JobSpec:
+    return JobSpec(kind="sleep", bench="sleep", config=config, rep=rep,
+                   profile="mini")
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+def test_submit_status_result_happy_path():
+    async def main() -> None:
+        registry = MetricsRegistry()
+        with ServiceClient(shards=2, executor="inline",
+                           metrics=registry) as client:
+            gateway = GatewayServer(client, port=0)
+            await gateway.start()
+            api = AsyncGatewayClient("127.0.0.1", gateway.port)
+            assert await api.healthz()
+
+            code, resp = await api.submit(_spec(1))
+            assert code == 202
+            assert resp["ok"] and resp["status"] in ("queued", "running",
+                                                     "completed")
+            digest = resp["digest"]
+            assert digest == _spec(1).digest()
+
+            code, resp = await api.result(digest, timeout=30)
+            assert code == 200
+            assert resp["record"]["duration_ms"] == 1.0
+
+            code, resp = await api.status(digest)
+            assert code == 200 and resp["status"] == "completed"
+
+            # wait=True folds submit+result into one round trip.
+            code, resp = await api.submit(_spec(2), wait=True, timeout=30)
+            assert code == 200 and resp["record"]["kind"] == "sleep"
+
+            stats = await api.stats()
+            assert stats["completed"] >= 2
+            text = await api.metrics_text()
+            assert "gateway_requests_total" in text
+            await gateway.stop()
+
+    _run(main())
+
+
+def test_malformed_requests_get_400s_and_404s():
+    async def main() -> None:
+        with ServiceClient(shards=1, executor="inline") as client:
+            gateway = GatewayServer(client, port=0)
+            await gateway.start()
+            api = AsyncGatewayClient("127.0.0.1", gateway.port)
+
+            code, _, resp = await api._json("POST", "/v1/jobs", None)
+            assert code == 400 and "JSON" in resp["error"]
+
+            code, _, resp = await api._json("POST", "/v1/jobs", {"x": 1})
+            assert code == 400 and "spec" in resp["error"]
+
+            code, _, resp = await api._json(
+                "POST", "/v1/jobs",
+                {"spec": {"kind": "nope", "schema_version": 1}},
+            )
+            assert code == 400
+
+            code, _, resp = await api._json("GET", "/v1/jobs/feedface")
+            assert code == 404
+
+            code, _, resp = await api._json("GET",
+                                            "/v1/jobs/feedface/result")
+            assert code == 404
+
+            code, _, resp = await api._json("GET", "/v1/nothing")
+            assert code == 404
+
+            code, _, resp = await api._json("DELETE", "/v1/jobs")
+            assert code == 405
+
+            code, _, resp = await api._json("POST", "/v1/stats", {})
+            assert code == 405
+            await gateway.stop()
+
+    _run(main())
+
+
+def test_backpressure_surfaces_as_503_with_retry_after():
+    gate = threading.Event()
+
+    def stalled_runner(spec: JobSpec) -> dict:
+        gate.wait(timeout=60)
+        return {"ok": True}
+
+    async def main() -> None:
+        with ServiceClient(shards=1, queue_capacity=1, executor="inline",
+                           runner=stalled_runner) as client:
+            gateway = GatewayServer(client, port=0)
+            await gateway.start()
+            api = AsyncGatewayClient("127.0.0.1", gateway.port)
+
+            # First job occupies the shard thread (blocked on the gate),
+            # second fills the depth-1 queue, third must bounce.
+            code, first = await api.submit(_spec(1))
+            assert code == 202
+            deadline = asyncio.get_event_loop().time() + 30
+            while True:
+                code, resp = await api.status(first["digest"])
+                if resp["status"] == "running":
+                    break
+                assert asyncio.get_event_loop().time() < deadline
+                await asyncio.sleep(0.01)
+            code, _ = await api.submit(_spec(2))
+            assert code == 202
+
+            code, headers, resp = await api._json(
+                "POST", "/v1/jobs", {"spec": _spec(3).to_json()}
+            )
+            assert code == 503
+            assert "backpressure" in resp["error"]
+            assert float(headers["retry-after"]) > 0
+
+            gate.set()
+            for rep in (1, 2):
+                code, resp = await api.result(_spec(rep).digest(),
+                                              timeout=30)
+                assert code == 200, resp
+            await gateway.stop()
+
+    _run(main())
+
+
+def test_sse_stream_is_in_order_and_terminates():
+    async def main() -> None:
+        with ServiceClient(shards=1, executor="inline") as client:
+            gateway = GatewayServer(client, port=0)
+            await gateway.start()
+            api = AsyncGatewayClient("127.0.0.1", gateway.port)
+
+            code, resp = await api.submit(_spec(7, config="250ms"))
+            assert code == 202
+            digest = resp["digest"]
+            events = [event async for event in api.events(digest)]
+
+            names = [name for name, _ in events]
+            assert names[-1] == "done"
+            assert all(name == "status" for name in names[:-1])
+            seqs = [data["seq"] for _, data in events]
+            assert seqs == list(range(len(events))), seqs
+            statuses = [data["status"] for _, data in events[:-1]]
+            order = {"queued": 0, "running": 1, "completed": 2}
+            ranks = [order[s] for s in statuses]
+            assert ranks == sorted(ranks), statuses
+            assert statuses[-1] == "completed"
+            assert events[-1][1]["status"] == "completed"
+            assert all(data["digest"] == digest for _, data in events)
+
+            # Streaming an already-terminal job yields its final state
+            # immediately, then done.
+            events = [event async for event in api.events(digest)]
+            assert [name for name, _ in events] == ["status", "done"]
+            assert events[0][1]["status"] == "completed"
+            await gateway.stop()
+
+    _run(main())
+
+
+def test_gateway_submits_are_deduplicated_by_digest():
+    async def main() -> None:
+        with ServiceClient(store=":memory:", shards=1,
+                           executor="inline") as client:
+            gateway = GatewayServer(client, port=0)
+            await gateway.start()
+            api = AsyncGatewayClient("127.0.0.1", gateway.port)
+            spec = _spec(5)
+            code, first = await api.submit(spec, wait=True, timeout=30)
+            assert code == 200
+            code, second = await api.submit(spec)
+            assert code == 202 and second["from_cache"] is True
+            await gateway.stop()
+
+    _run(main())

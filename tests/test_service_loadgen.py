@@ -1,0 +1,125 @@
+"""Load generator: schedule determinism, shape, and clocked replay.
+
+The load generator's contract is *byte identity*: the same seed and
+parameters must serialize to the same canonical schedule string in any
+process on any run — that is what makes fleet-capacity trajectory
+points at different worker counts comparable, and what lets a chaos
+campaign replay the exact load that exposed a bug.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.service.clock import FakeClock
+from repro.service.loadgen import DEFAULT_PHASES, LoadGen
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_same_seed_same_bytes_same_process():
+    a = LoadGen(seed=42, jobs=64, catalog=16)
+    b = LoadGen(seed=42, jobs=64, catalog=16)
+    assert a.canonical() == b.canonical()
+    assert a.schedule_digest() == b.schedule_digest()
+
+
+def test_different_seed_different_schedule():
+    assert (LoadGen(seed=1, jobs=32).canonical()
+            != LoadGen(seed=2, jobs=32).canonical())
+
+
+def test_parameter_changes_change_identity():
+    base = LoadGen(seed=3, jobs=32)
+    assert base.canonical() != LoadGen(seed=3, jobs=32,
+                                       zipf_s=0.3).canonical()
+    assert base.canonical() != LoadGen(seed=3, jobs=32,
+                                       kind="sleep",
+                                       config="10ms").canonical()
+    assert base.canonical() != LoadGen(
+        seed=3, jobs=32, phases=((1.0, 5.0),)).canonical()
+
+
+def test_cross_process_byte_identity():
+    """A fresh interpreter derives the identical canonical schedule."""
+    gen = LoadGen(seed=1311, jobs=64, catalog=24, zipf_s=0.8)
+    script = (
+        "import sys; sys.path.insert(0, sys.argv[1])\n"
+        "from repro.service.loadgen import LoadGen\n"
+        "sys.stdout.write(LoadGen(seed=1311, jobs=64, catalog=24,"
+        " zipf_s=0.8).canonical())\n"
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", script, str(REPO_ROOT / "src")],
+        capture_output=True, text=True, check=True,
+    )
+    assert out.stdout == gen.canonical()
+
+
+def test_schedule_shape():
+    gen = LoadGen(seed=5, jobs=100, catalog=10, zipf_s=1.2)
+    arrivals = gen.schedule()
+    assert len(arrivals) == 100
+    times = [a.t_s for a in arrivals]
+    assert times == sorted(times)
+    assert all(t > 0 for t in times)
+    assert [a.seq for a in arrivals] == list(range(100))
+    assert all(0 <= a.index < 10 for a in arrivals)
+    # Zipf skew: the hottest spec should clearly dominate a uniform share.
+    stats = gen.stats()
+    assert stats["hottest_share"] > 1.5 / 10
+    assert stats["distinct_specs"] <= 10
+
+
+def test_catalog_specs_are_digest_distinct():
+    gen = LoadGen(seed=0, jobs=8, catalog=12)
+    digests = {spec.digest() for spec in gen.catalog_specs()}
+    assert len(digests) == 12
+
+
+def test_replay_on_fake_clock_hits_exact_arrival_times():
+    gen = LoadGen(seed=9, jobs=32, catalog=8)
+    clock = FakeClock(start=100.0)
+    seen = []
+    count = gen.run(
+        lambda spec, arrival: seen.append(
+            (clock.monotonic(), arrival.seq, spec.digest())
+        ),
+        clock=clock,
+    )
+    assert count == 32
+    expected = [100.0 + a.t_s for a in gen.schedule()]
+    got = [t for t, _, _ in seen]
+    assert got == pytest.approx(expected)
+    # Replays submit the catalog spec the schedule names, in order.
+    specs = gen.catalog_specs()
+    for (_, seq, digest), arrival in zip(seen, gen.schedule()):
+        assert seq == arrival.seq
+        assert digest == specs[arrival.index].digest()
+
+
+def test_burst_phases_modulate_rate():
+    """A fast middle phase must pack arrivals more densely."""
+    gen = LoadGen(seed=11, jobs=400, catalog=4,
+                  phases=((2.0, 10.0), (2.0, 200.0)))
+    arrivals = gen.schedule()
+    # Phase windows repeat every 4s: [0,2) slow, [2,4) fast.
+    slow = sum(1 for a in arrivals if (a.t_s % 4.0) < 2.0)
+    fast = len(arrivals) - slow
+    assert fast > slow * 5, (slow, fast)
+
+
+def test_invalid_parameters_raise():
+    with pytest.raises(ValueError):
+        LoadGen(catalog=0)
+    with pytest.raises(ValueError):
+        LoadGen(phases=())
+    with pytest.raises(ValueError):
+        LoadGen(phases=((1.0, 0.0),))
+    with pytest.raises(ValueError):
+        LoadGen(jobs=-1)
+    assert LoadGen(phases=DEFAULT_PHASES).phases == DEFAULT_PHASES
