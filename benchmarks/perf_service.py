@@ -338,7 +338,11 @@ def measure_fleet(workers: int, jobs: int = FLEET_JOBS,
         "load_digest": gen.schedule_digest()[:16],
         "load": load_stats,
         "jobs_submitted": served,
-        "jobs_completed": int(fleet_stats["completed_ok"]),
+        # All submissions that completed, including cache hits ("completed"
+        # from the submitter's view); distinct_completed is the number of
+        # distinct specs the workers actually executed.
+        "jobs_completed": served,
+        "distinct_completed": int(fleet_stats["completed_ok"]),
         "cache_hits": cache_hits,
         "cache_hit_rate": round(cache_hits / served, 3) if served else 0.0,
         "requeued": int(fleet_stats["requeued"]),
@@ -408,6 +412,16 @@ def main(argv: list[str] | None = None) -> int:
     (out_dir / f"BENCH_service{suffix}.json").write_text(
         json.dumps(entry, indent=2))
 
+    # Counter-semantics note appended to (and refreshed in) the stored
+    # description: fleet entries before it was added reported the number
+    # of distinct executed specs under "jobs_completed".
+    _NOTE = (
+        " NOTE: in fleet entries, jobs_completed counts every completed "
+        "submission including cache hits; distinct_completed counts the "
+        "distinct specs workers executed. Fleet entries predating the "
+        "distinct_completed field used jobs_completed for the latter."
+    )
+
     if args.update:
         bench_file = REPO_ROOT / "BENCH_service.json"
         doc = json.loads(bench_file.read_text()) if bench_file.exists() else {
@@ -429,6 +443,7 @@ def main(argv: list[str] | None = None) -> int:
             ),
             "trajectory": [],
         }
+        doc["description"] = doc["description"].split(" NOTE:")[0] + _NOTE
         doc["trajectory"].append(entry)
         bench_file.write_text(json.dumps(doc, indent=2) + "\n")
         print(f"appended to {bench_file}")

@@ -76,7 +76,7 @@ def _split_evenly(items: range | list[int], parts: int, index: int) -> tuple[int
 
 
 def plan_colors(
-    policy: Policy,
+    policy,
     cores: list[int],
     mapping: AddressMapping,
     topology: MachineTopology,
@@ -84,7 +84,10 @@ def plan_colors(
     """Compute per-thread color assignments.
 
     Args:
-        policy: the coloring policy.
+        policy: the coloring policy — a named :class:`Policy`, or a
+            structured :class:`~repro.alloc.custom.CustomPolicy` whose
+            explicit per-thread assignments are validated against the
+            machine and returned as-is.
         cores: pinned core of each thread, thread i -> cores[i].  The
             master thread is thread 0, as in OpenMP.
         mapping: platform address codec (color space sizes).
@@ -98,6 +101,11 @@ def plan_colors(
         raise ValueError("need at least one thread")
     if len(set(cores)) != len(cores):
         raise ValueError("threads must be pinned to distinct cores")
+
+    if not isinstance(policy, Policy):
+        # Structured policy: an explicit plan, not a planning rule.
+        policy.validate(mapping, topology, nthreads=nthreads)
+        return list(policy.assignments)
 
     if policy is Policy.BUDDY:
         return [ColorAssignment()] * nthreads

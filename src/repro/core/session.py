@@ -38,7 +38,12 @@ class ColoredTeam:
         cores: list[int],
         policy: Policy,
     ) -> "ColoredTeam":
-        """Spawn one thread per core and color the team per ``policy``."""
+        """Spawn one thread per core and color the team per ``policy``.
+
+        ``policy`` is a named :class:`Policy` or a structured
+        :class:`~repro.alloc.custom.CustomPolicy` (explicit per-thread
+        assignments); both go through :func:`plan_colors`.
+        """
         assignments = plan_colors(
             policy, cores, tm.kernel.mapping, tm.kernel.topology
         )

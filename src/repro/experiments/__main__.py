@@ -8,6 +8,14 @@ Usage::
 
 Prints Figs. 10-14 as ASCII charts and writes the raw run records to
 ``DIR/main_sweep.csv`` (plus ``fig10.csv``).
+
+The ``tune`` subcommand runs the policy search instead::
+
+    python -m repro.experiments tune --bench lbm --budget 48
+                                     [--driver grid|evolution]
+                                     [--executor inline|process|fleet]
+
+See :mod:`repro.search.tune` for the full flag set.
 """
 
 from __future__ import annotations
@@ -28,6 +36,12 @@ from repro.workloads.registry import BENCH_ORDER
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "tune":
+        from repro.search.tune import main as tune_main
+
+        return tune_main(argv[1:])
     parser = argparse.ArgumentParser(prog="repro.experiments")
     parser.add_argument("--profile", default="scaled",
                         choices=["scaled", "full", "mini"])

@@ -171,9 +171,10 @@ def _fresh_environment(
     machine: MachineSpec | None = None,
     age_seed: int = 0,
     observer: BaseObserver = NULL_OBSERVER,
+    aged: bool = False,
 ) -> tuple[ColoredTeam, Engine]:
     machine = machine or opteron_6128(EXPERIMENT_MEMORY)
-    kernel = Kernel(machine, age_seed=age_seed, observer=observer)
+    kernel = Kernel(machine, aged=aged, age_seed=age_seed, observer=observer)
     tm = TintMalloc(kernel=kernel)
     team = ColoredTeam.create(tm, list(config.cores), policy)
     memory = MemorySystem.for_machine(machine, observer=observer)
@@ -222,6 +223,13 @@ def run_benchmark(
     of the run; the default NullObserver records nothing.  ``sanitize``
     ("off"/"cheap"/"full") arms runtime invariant checking; "off" is
     free, the other levels run the traced path with checkers attached.
+
+    ``policy`` may also be a structured
+    :class:`~repro.alloc.custom.CustomPolicy` (the search genome's
+    phenotype): its explicit per-thread assignments are applied verbatim,
+    its ``aged`` flag boots the kernel on a fragmented free-list state
+    (seeded from ``seed + rep``, like the buddy error bars), and its
+    ``hugepages`` flag backs the workload heap with 2 MiB pages.
     """
     config = CONFIGS[config_name]
     spec = get_workload(bench)
@@ -233,11 +241,14 @@ def run_benchmark(
         machine = profile_machine(profile)
     observer = _sanitized_observer(sanitize, observer)
     team, engine = _fresh_environment(
-        config, policy, machine, age_seed=seed + rep, observer=observer
+        config, policy, machine, age_seed=seed + rep, observer=observer,
+        aged=getattr(policy, "aged", False),
     )
     _arm_sanitizer(observer, engine)
     rng = RngStream(seed + rep, bench, config_name)
-    program = build_spmd_program(spec, team, rng)
+    program = build_spmd_program(
+        spec, team, rng, huge=getattr(policy, "hugepages", False)
+    )
     metrics = engine.run(program)
     return _record_from_metrics(metrics, bench, policy, config_name, rep)
 
@@ -252,7 +263,11 @@ def run_synthetic(
     observer: BaseObserver = NULL_OBSERVER,
     sanitize: str = "off",
 ) -> RunRecord:
-    """Execute one synthetic-benchmark run (Fig. 10)."""
+    """Execute one synthetic-benchmark run (Fig. 10).
+
+    Accepts structured :class:`~repro.alloc.custom.CustomPolicy` values
+    like :func:`run_benchmark` (``aged``/``hugepages`` honoured).
+    """
     config = CONFIGS[config_name]
     if spec is None:
         scale = profile_scale(profile)
@@ -265,10 +280,13 @@ def run_synthetic(
         machine = profile_machine(profile)
     observer = _sanitized_observer(sanitize, observer)
     team, engine = _fresh_environment(
-        config, policy, machine, age_seed=rep, observer=observer
+        config, policy, machine, age_seed=rep, observer=observer,
+        aged=getattr(policy, "aged", False),
     )
     _arm_sanitizer(observer, engine)
-    program = build_synthetic_program(spec, team)
+    program = build_synthetic_program(
+        spec, team, huge=getattr(policy, "hugepages", False)
+    )
     metrics = engine.run(program)
     return _record_from_metrics(metrics, spec.name, policy, config_name, rep)
 

@@ -1,0 +1,102 @@
+"""Incremental Pareto front over (runtime, divergence).
+
+The search optimizes two objectives at once — mean benchmark runtime
+and mean thread-runtime spread (the paper's divergence measure) — so
+"best" is a *front*, not a single point.  :class:`ParetoFront` keeps
+the non-dominated set incrementally: each :meth:`ParetoFront.offer` is
+O(front size), which is tiny compared to one simulator evaluation.
+
+Both objectives are minimized.  Ties are kept (a point equal to a
+member on both axes joins the front), so re-offering the same genome is
+idempotent — required for deterministic log replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def dominates(a: tuple[float, float], b: tuple[float, float]) -> bool:
+    """Whether point ``a`` Pareto-dominates ``b`` (minimizing both axes).
+
+    ``a`` dominates ``b`` iff it is no worse on both objectives and
+    strictly better on at least one.
+    """
+    return a[0] <= b[0] and a[1] <= b[1] and (a[0] < b[0] or a[1] < b[1])
+
+
+@dataclass(frozen=True)
+class FrontPoint:
+    """One non-dominated candidate: objectives plus its genome identity."""
+
+    runtime: float
+    divergence: float
+    digest: str
+    label: str
+
+    @property
+    def objectives(self) -> tuple[float, float]:
+        """(runtime, divergence) — the minimized pair."""
+        return (self.runtime, self.divergence)
+
+    def to_json(self) -> dict:
+        """Plain-dict form (search log / BENCH artifact)."""
+        return {
+            "runtime": self.runtime,
+            "divergence": self.divergence,
+            "digest": self.digest,
+            "label": self.label,
+        }
+
+
+class ParetoFront:
+    """The running non-dominated set, cheap to update per evaluation."""
+
+    def __init__(self) -> None:
+        self._points: dict[str, FrontPoint] = {}
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._points
+
+    def offer(self, point: FrontPoint) -> bool:
+        """Add ``point`` if non-dominated; evict members it dominates.
+
+        Returns True iff the point joined the front.  Offering a digest
+        already on the front replaces its entry (idempotent for equal
+        objectives), keeping cache-replayed searches byte-identical.
+        """
+        obj = point.objectives
+        for other in self._points.values():
+            if other.digest != point.digest and dominates(other.objectives, obj):
+                self._points.pop(point.digest, None)
+                return False
+        for digest in [
+            d for d, p in self._points.items()
+            if d != point.digest and dominates(obj, p.objectives)
+        ]:
+            del self._points[digest]
+        self._points[point.digest] = point
+        return True
+
+    def points(self) -> list[FrontPoint]:
+        """Front members sorted by runtime then divergence then digest.
+
+        The sort is total (digest tiebreak), so serialized fronts are
+        deterministic regardless of insertion order.
+        """
+        return sorted(
+            self._points.values(),
+            key=lambda p: (p.runtime, p.divergence, p.digest),
+        )
+
+    def best_runtime(self) -> FrontPoint | None:
+        """The front's fastest point (None while empty)."""
+        pts = self.points()
+        return pts[0] if pts else None
+
+    def to_json(self) -> list[dict]:
+        """Serialized front (sorted; see :meth:`points`)."""
+        return [p.to_json() for p in self.points()]

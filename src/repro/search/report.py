@@ -1,0 +1,149 @@
+"""Search artifacts: the replayable JSON log and the Markdown report.
+
+The log document (:func:`search_log_json`) is the search's full
+deterministic record — settings, every evaluation in order, the genome
+behind each digest, the final front, and the baselines.  Because every
+evaluation is a content-addressed JobSpec, replaying the log against a
+warm result store (:func:`replay_front`) re-derives the front without
+running a single simulation; the determinism test leans on this.
+
+The report (:func:`render_report`) is the human artifact: the Pareto
+front, the paper's ``buddy`` / ``mem+llc`` baselines, and the verdict —
+does any tuned policy dominate (or match) the paper's headline
+coloring?
+"""
+
+from __future__ import annotations
+
+from repro.search.drivers import EvalResult, Evaluator, SearchOutcome
+from repro.search.pareto import ParetoFront, dominates
+from repro.search.space import Genome
+
+#: Version of the search-log document layout.
+LOG_SCHEMA = 1
+
+
+def search_log_json(outcome: SearchOutcome) -> dict:
+    """The full, deterministic search-log document.
+
+    Contains no timestamps, cache statistics, or host details: two
+    same-seed runs — cold or warm cache, any executor — produce
+    byte-identical documents.
+    """
+    return {
+        "schema": LOG_SCHEMA,
+        "driver": outcome.driver,
+        "settings": outcome.settings.to_json(),
+        "evaluations": outcome.evaluations,
+        "log": outcome.log,
+        "genomes": {d: outcome.genomes[d] for d in sorted(outcome.genomes)},
+        "front": outcome.front.to_json(),
+        "baselines": {
+            name: result.to_json()
+            for name, result in sorted(outcome.baselines.items())
+        },
+    }
+
+
+def replay_front(log_doc: dict, evaluator: Evaluator) -> ParetoFront:
+    """Re-derive the Pareto front from a search log, cache-only.
+
+    Walks the logged *full* evaluations in order, re-evaluates each
+    genome through ``evaluator`` (all hits when the result store that
+    produced the log is attached), and rebuilds the front.  Raises
+    ValueError on a schema mismatch.
+    """
+    if log_doc.get("schema") != LOG_SCHEMA:
+        raise ValueError(
+            f"search log schema {log_doc.get('schema')!r} != {LOG_SCHEMA}"
+        )
+    from repro.search.pareto import FrontPoint
+
+    front = ParetoFront()
+    for entry in log_doc["log"]:
+        if entry.get("event") != "eval" or entry.get("phase") != "full":
+            continue
+        genome = Genome.from_json(log_doc["genomes"][entry["digest"]])
+        result = evaluator.evaluate_genome(genome, entry["reps"])
+        if result.ok:
+            front.offer(FrontPoint(
+                runtime=result.runtime, divergence=result.divergence,
+                digest=entry["digest"], label=result.label,
+            ))
+    return front
+
+
+def verdict_vs_baseline(outcome: SearchOutcome,
+                        baseline: EvalResult) -> tuple[str, dict | None]:
+    """Compare the front against one baseline.
+
+    Returns ``(verdict, point_json)`` where verdict is ``"dominates"``
+    (a front point is no worse on both objectives, strictly better on
+    one), ``"matches"`` (equal on both — e.g. the tuned encoding of the
+    baseline itself), or ``"dominated"`` (nothing on the front reaches
+    the baseline).  The point is the witness, None when dominated.
+    """
+    if not baseline.ok:
+        return ("baseline-error", None)
+    b = baseline.objectives
+    for point in outcome.front.points():
+        if dominates(point.objectives, b):
+            return ("dominates", point.to_json())
+    for point in outcome.front.points():
+        if point.objectives == b:
+            return ("matches", point.to_json())
+    return ("dominated", None)
+
+
+def _fmt(x: float | None) -> str:
+    return f"{x:.1f}" if x is not None else "—"
+
+
+def render_report(outcome: SearchOutcome) -> str:
+    """Markdown report: settings, front, baselines, verdicts."""
+    s = outcome.settings
+    lines = [
+        f"# Policy search — `{s.bench}` on `{s.config}` ({s.profile})",
+        "",
+        f"Driver `{outcome.driver}`, seed {s.seed}, budget {s.budget} "
+        f"evaluations (spent {outcome.evaluations}); screens at "
+        f"{s.screen_reps} rep(s), full evaluations at {s.full_reps}.",
+        "",
+        "## Pareto front (runtime vs divergence, both minimized)",
+        "",
+    ]
+    points = outcome.front.points()
+    if points:
+        lines += [
+            "| policy | runtime | divergence | genome |",
+            "|---|---:|---:|---|",
+        ]
+        for p in points:
+            lines.append(
+                f"| {p.label} | {p.runtime:.1f} | {p.divergence:.1f} "
+                f"| `{p.digest[:12]}` |"
+            )
+    else:
+        lines.append("*(empty — no candidate survived full evaluation)*")
+    lines += ["", "## Paper baselines", ""]
+    lines += [
+        "| policy | runtime | divergence | front verdict |",
+        "|---|---:|---:|---|",
+    ]
+    for name, result in sorted(outcome.baselines.items()):
+        verdict, witness = verdict_vs_baseline(outcome, result)
+        j = result.to_json()
+        note = f" (by `{witness['label']}`)" if witness else ""
+        lines.append(
+            f"| {name} | {_fmt(j['runtime'])} | {_fmt(j['divergence'])} "
+            f"| {verdict}{note} |"
+        )
+    best = outcome.best
+    if best is not None:
+        lines += [
+            "",
+            f"Best tuned policy: `{best.label}` — runtime "
+            f"{best.runtime:.1f}, divergence {best.divergence:.1f}.",
+        ]
+    lines.append("")
+    return "\n".join(lines)

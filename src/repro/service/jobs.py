@@ -23,6 +23,7 @@ import json
 from dataclasses import dataclass, fields
 from functools import lru_cache
 
+from repro.alloc.custom import CustomPolicy
 from repro.experiments.runner import PROFILES, SweepJob
 from repro.sim.metrics import SCHEMA_VERSION
 
@@ -88,7 +89,11 @@ class JobSpec:
 
     kind: str = "bench"  # "bench" | "synthetic" | "sleep"
     bench: str = "lbm"
-    policy: str = "buddy"  # Policy *value* label, e.g. "mem+llc"
+    #: named policy value label (e.g. "mem+llc") or a structured policy
+    #: dict — a :class:`~repro.alloc.custom.CustomPolicy` payload (the
+    #: search genome's phenotype), canonicalized at construction so equal
+    #: policies always digest identically.
+    policy: "str | dict" = "buddy"
     config: str = "16_threads_4_nodes"
     rep: int = 0
     profile: str = "scaled"
@@ -119,6 +124,18 @@ class JobSpec:
             raise ValueError(f"unknown profile {self.profile!r}")
         if self.max_retries < 0:
             raise ValueError("max_retries must be >= 0")
+        if isinstance(self.policy, dict):
+            # Validate eagerly and canonicalize (sorted color lists,
+            # stable key set) so equal structured policies — however the
+            # caller spelled them — produce byte-identical identity JSON.
+            object.__setattr__(
+                self, "policy", CustomPolicy.from_json(self.policy).to_json()
+            )
+        elif not isinstance(self.policy, str):
+            raise ValueError(
+                f"policy must be a name or a structured dict, "
+                f"got {type(self.policy).__name__}"
+            )
 
     # ---------------------------------------------------------------- identity
     def identity(self) -> dict:
@@ -178,6 +195,13 @@ class JobSpec:
         return cls(**kwargs)
 
     @property
+    def policy_label(self) -> str:
+        """Display name of the policy (named value or structured name)."""
+        if isinstance(self.policy, dict):
+            return str(self.policy.get("name", "custom"))
+        return self.policy
+
+    @property
     def label(self) -> str:
         """Human-readable short name (log lines, span names)."""
-        return f"{self.bench}/{self.policy}/{self.config}/rep{self.rep}"
+        return f"{self.bench}/{self.policy_label}/{self.config}/rep{self.rep}"

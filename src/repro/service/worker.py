@@ -18,7 +18,7 @@ import os
 import time
 import traceback
 
-from repro.alloc.policies import Policy
+from repro.alloc.custom import resolve_policy
 from repro.experiments.runner import run_benchmark, run_synthetic
 from repro.faultline import hooks as _fault_hooks
 from repro.faultline.faults import WorkerKillFault
@@ -84,7 +84,7 @@ def execute_jobspec(spec: JobSpec) -> dict:
             "seed": spec.seed,
             "duration_ms": duration_ms,
         }
-    policy = Policy(spec.policy)
+    policy = resolve_policy(spec.policy)
     observer: BaseObserver = Observer() if spec.trace_dir else NULL_OBSERVER
     if spec.kind == "synthetic":
         record = run_synthetic(

@@ -19,7 +19,9 @@ from repro.dram.system import DramStats
 #: field is added, removed, or changes meaning; the service result store
 #: treats entries with a different version as cache misses rather than
 #: deserializing them wrongly.
-SCHEMA_VERSION = 1
+#: v2: JobSpec.policy may be a structured policy dict (CustomPolicy
+#: payload) in addition to the original named-policy strings.
+SCHEMA_VERSION = 2
 
 
 @dataclass(slots=True)

@@ -124,8 +124,15 @@ def build_spmd_program(
     spec: SpmdSpec,
     team: ColoredTeam,
     rng: RngStream,
+    huge: bool = False,
 ) -> Program:
-    """Materialise the workload for a team: heap layout + trace program."""
+    """Materialise the workload for a team: heap layout + trace program.
+
+    ``huge`` backs the array and shared regions with 2 MiB pages, which
+    bypass coloring entirely (paper §III-C) — the knob the policy-search
+    space uses to let the optimizer weigh row-buffer locality against
+    color isolation.
+    """
     nthreads = team.nthreads
     mapping = team.tm.kernel.mapping
     line = mapping.line_bytes
@@ -136,12 +143,14 @@ def build_spmd_program(
         layout.init_stride = max(1, mapping.page_bytes // line)
     layout.partition_lines = max(1, spec.per_thread_bytes // line)
     part_bytes = layout.partition_lines * line
-    array_va = master.malloc(part_bytes * nthreads, label=f"{spec.name}:array")
+    array_va = master.malloc(
+        part_bytes * nthreads, label=f"{spec.name}:array", huge=huge
+    )
     layout.partition_base = [array_va + i * part_bytes for i in range(nthreads)]
     layout.shared_lines = max(1, spec.shared_bytes // line) if spec.shared_bytes else 0
     if layout.shared_lines:
         layout.shared_base = master.malloc(
-            layout.shared_lines * line, label=f"{spec.name}:shared"
+            layout.shared_lines * line, label=f"{spec.name}:shared", huge=huge
         )
 
     # Input loading precedes the color directives in real runs (the paper

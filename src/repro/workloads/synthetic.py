@@ -69,19 +69,21 @@ def alternating_stride_lines(nlines: int) -> np.ndarray:
 def build_synthetic_program(
     spec: SyntheticSpec,
     team: ColoredTeam,
+    huge: bool = False,
 ) -> Program:
     """One parallel section: every thread writes its own fresh region.
 
     Each thread ``malloc``\\ s its region itself, so all first touches —
     which happen inline, during the pattern, as in the paper ("results in
-    page faults for a large address space") — are its own.
+    page faults for a large address space") — are its own.  ``huge``
+    backs the regions with 2 MiB pages (which bypass coloring, §III-C).
     """
     line = team.tm.kernel.mapping.line_bytes
     nlines = max(2, spec.per_thread_bytes // line)
     order = alternating_stride_lines(nlines)
     traces = {}
     for i, handle in enumerate(team.handles):
-        base = handle.malloc(nlines * line, label=f"synthetic[{i}]")
+        base = handle.malloc(nlines * line, label=f"synthetic[{i}]", huge=huge)
         traces[i] = Trace(
             vaddrs=base + order * line,
             writes=np.ones(nlines, dtype=bool),

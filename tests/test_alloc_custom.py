@@ -1,0 +1,133 @@
+"""CustomPolicy: the structured per-thread coloring the search tunes.
+
+The critical contract is *encoding fidelity*: a named paper policy
+re-expressed as a CustomPolicy must produce a bit-identical run —
+that is what lets the search seed its population with the paper's
+configurations and guarantees the tuned front can never lose to them.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.alloc.custom import CustomPolicy, resolve_policy
+from repro.alloc.planner import ColorAssignment, plan_colors
+from repro.alloc.policies import Policy
+from repro.experiments.configs import CONFIGS
+from repro.experiments.runner import profile_machine, run_benchmark
+
+CONFIG = "4_threads_4_nodes"
+PROFILE = "mini"
+
+
+def named_as_custom(policy: Policy, config: str = CONFIG,
+                    profile: str = PROFILE) -> CustomPolicy:
+    machine = profile_machine(profile)
+    assignments = plan_colors(
+        policy, list(CONFIGS[config].cores), machine.mapping,
+        machine.topology,
+    )
+    return CustomPolicy(
+        name=f"as-custom:{policy.value}", assignments=tuple(assignments)
+    )
+
+
+class TestRoundTrip:
+    def test_json_round_trip_is_lossless(self):
+        policy = CustomPolicy(
+            name="t", aged=True, hugepages=True,
+            assignments=(
+                ColorAssignment(mem_colors=(3, 1), llc_colors=(2,)),
+                ColorAssignment(mem_colors=(), llc_colors=(0, 5)),
+            ),
+        )
+        back = CustomPolicy.from_json(policy.to_json())
+        assert back == policy
+        assert back.to_json() == policy.to_json()
+
+    def test_canonicalizes_color_order_and_duplicates(self):
+        a = CustomPolicy(name="x", assignments=(
+            ColorAssignment(mem_colors=(5, 1, 5), llc_colors=(4, 2)),
+        ))
+        b = CustomPolicy(name="x", assignments=(
+            ColorAssignment(mem_colors=(1, 5), llc_colors=(2, 4, 2)),
+        ))
+        assert a.to_json() == b.to_json()
+        assert json.dumps(a.to_json(), sort_keys=True) == json.dumps(
+            b.to_json(), sort_keys=True
+        )
+
+    def test_resolve_policy_dispatch(self):
+        assert resolve_policy("mem+llc") is Policy.MEM_LLC
+        custom = named_as_custom(Policy.MEM)
+        assert resolve_policy(custom) is custom
+        resolved = resolve_policy(custom.to_json())
+        assert isinstance(resolved, CustomPolicy)
+        assert resolved == custom
+
+
+class TestValidation:
+    def test_rejects_out_of_range_colors(self):
+        machine = profile_machine(PROFILE)
+        bad = CustomPolicy(name="bad", assignments=(
+            ColorAssignment(mem_colors=(10**6,), llc_colors=()),
+        ))
+        with pytest.raises(ValueError, match="color"):
+            bad.validate(machine.mapping, machine.topology, nthreads=1)
+
+    def test_rejects_incompatible_pairs(self):
+        machine = profile_machine(PROFILE)
+        mapping = machine.mapping
+        llc = 0
+        banks = [
+            b for b in range(mapping.num_bank_colors)
+            if not mapping.colors_compatible(b, llc)
+        ]
+        if not banks:
+            pytest.skip("preset has no incompatible pair")
+        bad = CustomPolicy(name="bad", assignments=(
+            ColorAssignment(mem_colors=(banks[0],), llc_colors=(llc,)),
+        ))
+        with pytest.raises(ValueError, match="compatible"):
+            bad.validate(machine.mapping, machine.topology, nthreads=1)
+
+    def test_thread_count_must_match(self):
+        machine = profile_machine(PROFILE)
+        one = CustomPolicy(name="one", assignments=(
+            ColorAssignment(mem_colors=(), llc_colors=()),
+        ))
+        with pytest.raises(ValueError, match="thread"):
+            one.validate(machine.mapping, machine.topology, nthreads=4)
+
+
+class TestEncodingFidelity:
+    @pytest.mark.parametrize("policy", [Policy.BUDDY, Policy.MEM_LLC])
+    def test_custom_encoding_runs_bit_identical(self, policy):
+        named = run_benchmark("lbm", policy, CONFIG, rep=0, profile=PROFILE)
+        custom = run_benchmark(
+            "lbm", named_as_custom(policy), CONFIG, rep=0, profile=PROFILE
+        )
+        assert custom.runtime == named.runtime
+        assert custom.thread_runtimes == named.thread_runtimes
+        assert custom.total_idle == named.total_idle
+        assert custom.remote_fraction == named.remote_fraction
+
+    def test_aged_and_hugepage_flags_change_the_run(self):
+        base = named_as_custom(Policy.MEM_LLC)
+        plain = run_benchmark("lbm", base, CONFIG, rep=0, profile=PROFILE)
+        aged = run_benchmark(
+            "lbm",
+            CustomPolicy(name="aged", assignments=base.assignments,
+                         aged=True),
+            CONFIG, rep=0, profile=PROFILE,
+        )
+        huge = run_benchmark(
+            "lbm",
+            CustomPolicy(name="huge", assignments=base.assignments,
+                         hugepages=True),
+            CONFIG, rep=0, profile=PROFILE,
+        )
+        assert aged.runtime != plain.runtime
+        assert huge.runtime != plain.runtime

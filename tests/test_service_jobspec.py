@@ -113,3 +113,59 @@ class TestValidation:
     def test_negative_retries_rejected(self):
         with pytest.raises(ValueError):
             JobSpec(max_retries=-1)
+
+
+class TestStructuredPolicy:
+    """Satellite contract: JobSpec.policy accepts a structured policy
+    dict (the search genome's phenotype) with lossless round-trip and
+    digest-stable canonicalization; plain named strings keep working."""
+
+    def _phenotype(self, **over) -> dict:
+        doc = {
+            "type": "custom",
+            "name": "tuned:abc",
+            "mem": [[3, 1], []],
+            "llc": [[2], [0, 5]],
+            "aged": False,
+            "hugepages": True,
+        }
+        doc.update(over)
+        return doc
+
+    def test_dict_policy_accepted_and_canonicalized(self):
+        spec = JobSpec(policy=self._phenotype())
+        assert isinstance(spec.policy, dict)
+        assert spec.policy["mem"][0] == [1, 3]  # sorted at construction
+        assert spec.policy_label == "tuned:abc"
+        assert "tuned:abc" in spec.label
+
+    def test_equivalent_dicts_digest_identically(self):
+        a = JobSpec(policy=self._phenotype(mem=[[3, 1], []]))
+        b = JobSpec(policy=self._phenotype(mem=[[1, 3, 1], []]))
+        assert a.digest() == b.digest()
+
+    def test_dict_policy_changes_digest_vs_string(self):
+        assert JobSpec(policy=self._phenotype()).digest() \
+            != JobSpec(policy="mem+llc").digest()
+        assert JobSpec(policy=self._phenotype()).digest() \
+            != JobSpec(policy=self._phenotype(aged=True)).digest()
+
+    def test_wire_round_trip_is_lossless(self):
+        spec = JobSpec(policy=self._phenotype())
+        wire = json.loads(json.dumps(spec.to_json()))
+        back = JobSpec.from_json(wire)
+        assert back.policy == spec.policy
+        assert back.digest() == spec.digest()
+
+    def test_named_policy_strings_still_work(self):
+        spec = JobSpec(policy="mem+llc")
+        assert spec.policy == "mem+llc"
+        assert spec.policy_label == "mem+llc"
+        back = JobSpec.from_json(json.loads(json.dumps(spec.to_json())))
+        assert back.digest() == spec.digest()
+
+    def test_malformed_policy_rejected(self):
+        with pytest.raises(ValueError):
+            JobSpec(policy={"type": "custom", "name": "x"})  # missing genes
+        with pytest.raises(ValueError):
+            JobSpec(policy=42)

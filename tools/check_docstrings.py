@@ -41,6 +41,7 @@ PACKAGES = (
     "repro.service",
     "repro.cache",
     "repro.dram",
+    "repro.search",
 )
 
 
