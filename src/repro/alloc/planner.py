@@ -118,40 +118,88 @@ def plan_colors(
     for i, node in enumerate(node_of):
         peers_by_node.setdefault(node, []).append(i)
 
-    llc_all = range(mapping.num_llc_colors)
-    assignments: list[ColorAssignment] = []
     # Node groups in first-appearance order — these are the paper's
     # "thread groups" for the (part) policies.
     group_order = list(dict.fromkeys(node_of))
 
+    # Bank colors first: the LLC split below depends on them.
+    mems: list[tuple[int, ...]] = []
     for i in range(nthreads):
         node = node_of[i]
         peers = peers_by_node[node]
-        rank_in_node = peers.index(i)
-        local_banks = mapping.bank_colors_of_node(node)
-
         mem: tuple[int, ...] = ()
-        llc: tuple[int, ...] = ()
-
         if policy in (Policy.MEM, Policy.MEM_LLC, Policy.MEM_LLC_PART):
             # Private share of the local node's bank colors.
-            mem = _split_evenly(local_banks, len(peers), rank_in_node)
+            mem = _split_evenly(
+                mapping.bank_colors_of_node(node), len(peers), peers.index(i)
+            )
         elif policy is Policy.LLC_MEM_PART:
             # Group-shared: all of the local node's bank colors.
-            mem = tuple(local_banks)
+            mem = tuple(mapping.bank_colors_of_node(node))
+        mems.append(mem)
 
-        if policy in (Policy.LLC, Policy.MEM_LLC, Policy.LLC_MEM_PART):
-            # Private share of the global LLC color space.
-            llc = _split_strided(llc_all, nthreads, i)
-        elif policy is Policy.MEM_LLC_PART:
-            # One LLC share per node group, shared by the group's threads.
-            group_index = group_order.index(node)
-            llc = _split_strided(llc_all, len(group_order), group_index)
+    # LLC colors are split within each thread's *compatible pool* — the
+    # LLC colors its bank share can physically host (all colors when the
+    # thread holds no bank colors).  On mappings where every thread's
+    # bank share spans all shared bank/LLC bit values (the Opteron), the
+    # pool is the whole color space and this degenerates to the paper's
+    # plain strided split over all threads; on schemes that pin LLC-slice
+    # bits per thread (e.g. RoCoRaBaCh's channel bits) each pool's
+    # owners split only their own pool, keeping shares non-empty,
+    # compatible and pairwise disjoint.
+    pools = _llc_pools(mems, mapping)
+    llcs: list[tuple[int, ...]]
+    if policy in (Policy.LLC, Policy.MEM_LLC, Policy.LLC_MEM_PART):
+        # Private LLC share: threads with the same pool split that pool.
+        owners_of: dict[tuple[int, ...], list[int]] = {}
+        for i, pool in enumerate(pools):
+            owners_of.setdefault(pool, []).append(i)
+        llcs = [
+            _split_strided(
+                list(pools[i]), len(owners_of[pools[i]]),
+                owners_of[pools[i]].index(i),
+            )
+            for i in range(nthreads)
+        ]
+    elif policy is Policy.MEM_LLC_PART:
+        # One LLC share per node group, shared by the group's threads:
+        # each distinct pool is split among the groups whose threads use
+        # it, and a group's share is the union over its threads' pools.
+        groups_of: dict[tuple[int, ...], list[int]] = {}
+        for i, pool in enumerate(pools):
+            owners = groups_of.setdefault(pool, [])
+            if node_of[i] not in owners:
+                owners.append(node_of[i])
+        shares: dict[int, set[int]] = {g: set() for g in group_order}
+        for pool, owners in groups_of.items():
+            for idx, g in enumerate(owners):
+                shares[g].update(_split_strided(list(pool), len(owners), idx))
+        llcs = [tuple(sorted(shares[node_of[i]])) for i in range(nthreads)]
+    else:
+        llcs = [()] * nthreads
 
-        assignments.append(ColorAssignment(mem_colors=mem, llc_colors=llc))
-
+    assignments = [
+        ColorAssignment(mem_colors=mems[i], llc_colors=llcs[i])
+        for i in range(nthreads)
+    ]
     _check_compatibility(assignments, mapping)
     return assignments
+
+
+def _llc_pools(
+    mems: list[tuple[int, ...]], mapping: AddressMapping
+) -> list[tuple[int, ...]]:
+    """Per-thread compatible LLC pools given per-thread bank shares."""
+    all_colors = tuple(range(mapping.num_llc_colors))
+    pools: list[tuple[int, ...]] = []
+    for mem in mems:
+        if not mem:
+            pools.append(all_colors)
+        else:
+            pools.append(tuple(sorted({
+                lc for bc in mem for lc in mapping.compatible_llc_colors(bc)
+            })))
+    return pools
 
 
 def _check_compatibility(

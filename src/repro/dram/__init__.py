@@ -11,6 +11,7 @@ Reproduces the first-order phenomena the paper builds on (§II-B):
 
 from repro.dram.bank import Bank, RowKind
 from repro.dram.interconnect import Interconnect
+from repro.dram.remote import RemoteCache, RemoteTier
 from repro.dram.system import AccessResult, DramStats, DramSystem
 from repro.dram.timing import DramTiming
 
@@ -18,6 +19,8 @@ __all__ = [
     "Bank",
     "RowKind",
     "Interconnect",
+    "RemoteCache",
+    "RemoteTier",
     "AccessResult",
     "DramStats",
     "DramSystem",

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 
 from repro.dram.bank import Bank, RowKind
 from repro.dram.interconnect import Interconnect
+from repro.dram.remote import RemoteCache, RemoteTier
 from repro.dram.timing import DEFAULT_TIMING, DramTiming
 from repro.machine.address import AddressMapping
 from repro.machine.topology import MachineTopology
@@ -69,6 +70,8 @@ class DramStats:
     remote_accesses: int = 0
     writebacks: int = 0
     prefetch_fills: int = 0
+    remote_cache_hits: int = 0
+    remote_cache_misses: int = 0
     total_latency: float = 0.0
     total_queue_wait: float = 0.0
     wait_link: float = 0.0
@@ -126,6 +129,8 @@ class DramStats:
             "remote_accesses": self.remote_accesses,
             "writebacks": self.writebacks,
             "prefetch_fills": self.prefetch_fills,
+            "remote_cache_hits": self.remote_cache_hits,
+            "remote_cache_misses": self.remote_cache_misses,
             "total_latency": self.total_latency,
             "total_queue_wait": self.total_queue_wait,
             "wait_link": self.wait_link,
@@ -149,6 +154,8 @@ class DramStats:
             remote_accesses=int(data["remote_accesses"]),
             writebacks=int(data["writebacks"]),
             prefetch_fills=int(data["prefetch_fills"]),
+            remote_cache_hits=int(data.get("remote_cache_hits", 0)),
+            remote_cache_misses=int(data.get("remote_cache_misses", 0)),
             total_latency=float(data["total_latency"]),
             total_queue_wait=float(data["total_queue_wait"]),
             wait_link=float(data["wait_link"]),
@@ -169,6 +176,10 @@ class DramSystem:
         mapping: the platform's physical address codec.
         topology: socket/node/core layout (for interconnect distances).
         timing: DRAM timing parameters.
+        remote: optional disaggregated tier — nodes listed there are
+            served through a compute-side DRAM cache and, on a miss, a
+            network round trip in front of the ordinary controller/
+            channel/bank pipeline (see :mod:`repro.dram.remote`).
     """
 
     def __init__(
@@ -177,6 +188,7 @@ class DramSystem:
         topology: MachineTopology,
         timing: DramTiming = DEFAULT_TIMING,
         observer: BaseObserver = NULL_OBSERVER,
+        remote: RemoteTier | None = None,
     ) -> None:
         if mapping.num_nodes != topology.num_nodes:
             raise ValueError("mapping/topology node count mismatch")
@@ -202,6 +214,20 @@ class DramSystem:
         self._banks_per_channel = mapping.num_ranks * mapping.num_banks
         self._page_bits = mapping.page_bits
         self._row_shift = mapping.row_bits_start
+        self._line_bits = mapping.line_bits
+        # Disaggregated tier: per-remote-node DRAM cache + network link.
+        self.remote = remote
+        self._remote_caches: dict[int, RemoteCache] = {}
+        self._net_busy: dict[int, float] = {}
+        if remote is not None:
+            for node in remote.remote_nodes:
+                if not 0 <= node < mapping.num_nodes:
+                    raise ValueError(f"remote node {node} outside mapping")
+                self._remote_caches[node] = remote.make_cache()
+                self._net_busy[node] = 0.0
+            self._net_ns = remote.network_ns
+            self._net_service = remote.network_service_ns
+            self._cache_hit_ns = remote.cache_hit_ns
         # Timing scalars bound once (immutable), for the per-access path.
         self._ctrl_service = timing.ctrl_service
         self._ctrl_overhead = timing.ctrl_overhead
@@ -298,6 +324,8 @@ class DramSystem:
         if route is None:
             route = self._route(paddr >> self._page_bits)
         bank_color, node, chan, bank = route
+        if self._remote_caches and node in self._remote_caches:
+            return self._remote_access(paddr, core, now, is_write, route)
         row = paddr >> self._row_shift
         interconnect = self.interconnect
 
@@ -400,6 +428,128 @@ class DramSystem:
             )
         return result
 
+    def _remote_access(
+        self,
+        paddr: int,
+        core: int,
+        now: float,
+        is_write: bool,
+        route: tuple[int, int, int, Bank],
+    ) -> AccessResult:
+        """Serve a demand access to a disaggregated node.
+
+        A compute-side DRAM-cache hit is a flat :attr:`RemoteTier.cache_hit_ns`
+        — it never crosses the fabric and never reaches a far bank (it is
+        a *local* row hit in the stats; ``remote_cache_hits`` records how
+        many accesses short-circuited this way, keeping the sanitizer's
+        bank-conservation identity checkable).  A miss queues on the
+        per-node network link, pays the propagation delay both ways, and
+        runs the ordinary controller/channel/bank pipeline at the far end;
+        the fetched line is installed in the DRAM cache (clean LRU
+        eviction).
+        """
+        bank_color, node, chan, bank = route
+        cache = self._remote_caches[node]
+        stats = self.stats
+        line = paddr >> self._line_bits
+        if cache.lookup(line):
+            latency = self._cache_hit_ns
+            stats.remote_cache_hits += 1
+            stats.accesses += 1
+            stats.total_latency += latency
+            stats.row_hits += 1
+            stats.local_accesses += 1
+            per_node = stats.per_node_accesses
+            per_node[node] = per_node.get(node, 0) + 1
+            result = AccessResult(latency, _HIT, node, bank_color, 0, 0.0)
+            if self._obs_enabled:
+                self.obs.span(
+                    "dram.remote_cache_hit", now, now + latency,
+                    track="dram", tid=node,
+                    args={"bank": bank_color, "core": core, "write": is_write},
+                )
+            return result
+
+        # Network link: single busy-until queue per remote node.
+        busy = self._net_busy[node]
+        link_start = now if now > busy else busy
+        self._net_busy[node] = link_start + self._net_service
+        arrival = link_start + self._net_ns
+
+        row = paddr >> self._row_shift
+        ctrl_busy = self._ctrl_busy
+        busy = ctrl_busy[node]
+        ctrl_start = arrival if arrival > busy else busy
+        ctrl_busy[node] = ctrl_start + self._ctrl_service
+        after_ctrl = ctrl_start + self._ctrl_overhead
+
+        chan_busy = self._chan_busy
+        busy = chan_busy[chan]
+        chan_start = after_ctrl if after_ctrl > busy else busy
+        chan_busy[chan] = chan_start + self._channel_service
+
+        busy = bank.busy_until
+        bank_start = chan_start if chan_start > busy else busy
+        epoch = int(bank_start // self._refresh_interval)
+        if epoch != bank.refresh_epoch:
+            bank.refresh_epoch = epoch
+            kind = _MISS
+            service = self._row_miss_ns
+            bank.misses += 1
+        elif bank.open_row is None:
+            kind = _MISS
+            service = self._row_miss_ns
+            bank.misses += 1
+        elif bank.open_row == row:
+            kind = _HIT
+            service = self._row_hit_ns
+            bank.hits += 1
+        else:
+            kind = _CONFLICT
+            service = self._row_conflict_ns
+            bank.conflicts += 1
+        bank.open_row = row
+        bank.busy_until = bank_start + (
+            service + (self._write_recovery if is_write else 0.0)
+        )
+        cache.insert(line)
+
+        done = bank_start + service + self._net_ns  # data return trip
+        latency = done - now
+        w_link = link_start - now
+        w_ctrl = ctrl_start - arrival
+        w_chan = chan_start - after_ctrl
+        w_bank = bank_start - chan_start
+        queue_wait = w_link + w_ctrl + w_chan + w_bank
+        stats.wait_link += w_link
+        stats.wait_ctrl += w_ctrl
+        stats.wait_chan += w_chan
+        stats.wait_bank += w_bank
+        stats.accesses += 1
+        stats.total_latency += latency
+        stats.total_queue_wait += queue_wait
+        if kind is _HIT:
+            stats.row_hits += 1
+        elif kind is _MISS:
+            stats.row_misses += 1
+        else:
+            stats.row_conflicts += 1
+        stats.remote_accesses += 1
+        stats.remote_cache_misses += 1
+        per_node = stats.per_node_accesses
+        per_node[node] = per_node.get(node, 0) + 1
+        # hops=1: one fabric crossing (the interconnect mesh is bypassed).
+        result = AccessResult(latency, kind, node, bank_color, 1, queue_wait)
+        if self._obs_enabled:
+            self.obs.span(
+                "dram.remote_access", now, done, track="dram", tid=node,
+                args={
+                    "bank": bank_color, "row": kind.value, "core": core,
+                    "queue_wait": queue_wait, "write": is_write,
+                },
+            )
+        return result
+
     def prefetch_fill(self, paddr: int, core: int, now: float) -> None:
         """Serve a prefetch: full bank/channel/controller occupancy, but
         nothing waits on it (latency is off the critical path) and demand
@@ -410,7 +560,16 @@ class DramSystem:
         _, node, chan, bank = route
         row = paddr >> self._row_shift
         t = self.timing
-        arrival, _ = self.interconnect.traverse(core, node, now)
+        if self._remote_caches and node in self._remote_caches:
+            # Prefetchers fill the LLC straight from the far DRAM — the
+            # compute-side DRAM cache is demand-filled only, so the fill
+            # pays network link occupancy instead of the mesh traverse.
+            busy = self._net_busy[node]
+            start = now if now > busy else busy
+            self._net_busy[node] = start + self._net_service
+            arrival = start + self._net_ns
+        else:
+            arrival, _ = self.interconnect.traverse(core, node, now)
         ctrl_start = max(arrival, self._ctrl_busy[node])
         self._ctrl_busy[node] = ctrl_start + t.ctrl_service
         chan_start = max(ctrl_start + t.ctrl_overhead, self._chan_busy[chan])
@@ -423,6 +582,18 @@ class DramSystem:
         route = self._frame_route.get(paddr >> self._page_bits)
         if route is None:
             route = self._route(paddr >> self._page_bits)
+        if self._remote_caches and route[1] in self._remote_caches:
+            cache = self._remote_caches[route[1]]
+            if cache.touch(paddr >> self._line_bits):
+                # Absorbed by the compute-side DRAM cache (write-back at
+                # its own eviction is folded into the clean-evict model).
+                self.stats.writebacks += 1
+                return
+            node = route[1]
+            busy = self._net_busy[node]
+            start = now if now > busy else busy
+            self._net_busy[node] = start + self._net_service
+            now = start + self._net_ns  # posted write lands at the far end
         chan = route[2]
         chan_busy = self._chan_busy
         busy = chan_busy[chan]
@@ -467,4 +638,7 @@ class DramSystem:
         self._ctrl_busy = [0.0] * self.mapping.num_nodes
         self._chan_busy = [0.0] * (self.mapping.num_nodes * self.mapping.num_channels)
         self.interconnect = Interconnect(self.topology, self.timing)
+        for node, cache in self._remote_caches.items():
+            cache.reset()
+            self._net_busy[node] = 0.0
         self.stats = DramStats()

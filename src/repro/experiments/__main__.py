@@ -16,6 +16,14 @@ The ``tune`` subcommand runs the policy search instead::
                                      [--executor inline|process|fleet]
 
 See :mod:`repro.search.tune` for the full flag set.
+
+The ``matrix`` subcommand reruns the fig. 11-style sweep across the
+platform family and emits the cross-platform payoff/inversion table::
+
+    python -m repro.experiments matrix [--platforms a,b,c] [--benches ...]
+                                       [--reps N] [--scale S]
+
+See :mod:`repro.experiments.matrix`.
 """
 
 from __future__ import annotations
@@ -42,6 +50,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.search.tune import main as tune_main
 
         return tune_main(argv[1:])
+    if argv and argv[0] == "matrix":
+        from repro.experiments.matrix import main as matrix_main
+
+        return matrix_main(argv[1:])
     parser = argparse.ArgumentParser(prog="repro.experiments")
     parser.add_argument("--profile", default="scaled",
                         choices=["scaled", "full", "mini"])

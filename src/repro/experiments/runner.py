@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from repro.alloc.policies import Policy
 from repro.core.session import ColoredTeam
 from repro.core.tintmalloc import TintMalloc
-from repro.experiments.configs import CONFIGS, ExperimentConfig
+from repro.experiments.configs import CONFIGS, ExperimentConfig, configs_for
 from repro.kernel.kernel import Kernel
 from repro.machine.presets import MachineSpec, opteron_6128, opteron_6128_scaled
 from repro.obs import NULL_OBSERVER, BaseObserver
@@ -56,6 +56,20 @@ def profile_machine(profile: str) -> MachineSpec:
 
 def profile_scale(profile: str) -> float:
     return PROFILES[profile][2]
+
+
+def _resolve_config(
+    config: str | ExperimentConfig, machine: MachineSpec | None
+) -> ExperimentConfig:
+    """Accept a config object, a paper config name, or (with an explicit
+    machine) a topology-derived name from :func:`configs_for`."""
+    if isinstance(config, ExperimentConfig):
+        return config
+    if machine is not None:
+        derived = configs_for(machine.topology)
+        if config in derived:
+            return derived[config]
+    return CONFIGS[config]
 
 
 @dataclass(frozen=True)
@@ -206,7 +220,7 @@ def _record_from_metrics(metrics, bench, policy, config, rep) -> RunRecord:
 def run_benchmark(
     bench: str,
     policy: Policy,
-    config_name: str,
+    config_name: str | ExperimentConfig,
     rep: int = 0,
     seed: int = 0,
     scale: float | None = None,
@@ -230,8 +244,13 @@ def run_benchmark(
     its ``aged`` flag boots the kernel on a fragmented free-list state
     (seeded from ``seed + rep``, like the buddy error bars), and its
     ``hugepages`` flag backs the workload heap with 2 MiB pages.
+
+    ``config_name`` may also be an :class:`ExperimentConfig` object (any
+    core pinning, e.g. from :func:`configs_for` on a non-Opteron
+    preset); with an explicit ``machine``, names derived from its
+    topology resolve too.
     """
-    config = CONFIGS[config_name]
+    config = _resolve_config(config_name, machine)
     spec = get_workload(bench)
     if scale is None:
         scale = profile_scale(profile)
@@ -245,17 +264,17 @@ def run_benchmark(
         aged=getattr(policy, "aged", False),
     )
     _arm_sanitizer(observer, engine)
-    rng = RngStream(seed + rep, bench, config_name)
+    rng = RngStream(seed + rep, bench, config.name)
     program = build_spmd_program(
         spec, team, rng, huge=getattr(policy, "hugepages", False)
     )
     metrics = engine.run(program)
-    return _record_from_metrics(metrics, bench, policy, config_name, rep)
+    return _record_from_metrics(metrics, bench, policy, config.name, rep)
 
 
 def run_synthetic(
     policy: Policy,
-    config_name: str = "16_threads_4_nodes",
+    config_name: str | ExperimentConfig = "16_threads_4_nodes",
     rep: int = 0,
     spec: SyntheticSpec | None = None,
     machine: MachineSpec | None = None,
@@ -266,18 +285,20 @@ def run_synthetic(
     """Execute one synthetic-benchmark run (Fig. 10).
 
     Accepts structured :class:`~repro.alloc.custom.CustomPolicy` values
-    like :func:`run_benchmark` (``aged``/``hugepages`` honoured).
+    like :func:`run_benchmark` (``aged``/``hugepages`` honoured), and
+    :class:`ExperimentConfig` objects like :func:`run_benchmark`.  The
+    default footprint derives from the machine's topology
+    (:meth:`SyntheticSpec.for_machine`) — identical to the historic
+    fixed formula on every 4-node preset.
     """
-    config = CONFIGS[config_name]
-    if spec is None:
-        scale = profile_scale(profile)
-        spec = SyntheticSpec(
-            per_thread_bytes=max(
-                64 * 1024, int(SyntheticSpec().per_thread_bytes * scale)
-            )
-        )
+    config = _resolve_config(config_name, machine)
     if machine is None and profile != "full":
         machine = profile_machine(profile)
+    if spec is None:
+        spec = SyntheticSpec.for_machine(
+            machine if machine is not None else opteron_6128(EXPERIMENT_MEMORY),
+            profile_scale(profile),
+        )
     observer = _sanitized_observer(sanitize, observer)
     team, engine = _fresh_environment(
         config, policy, machine, age_seed=rep, observer=observer,
@@ -288,7 +309,7 @@ def run_synthetic(
         spec, team, huge=getattr(policy, "hugepages", False)
     )
     metrics = engine.run(program)
-    return _record_from_metrics(metrics, spec.name, policy, config_name, rep)
+    return _record_from_metrics(metrics, spec.name, policy, config.name, rep)
 
 
 # ---------------------------------------------------------------------- sweep

@@ -31,6 +31,20 @@ class FramePool:
                 "address mapping does not give frames invariant colors; "
                 "coloring requires all color bits at/above the page offset"
             )
+        # node_frame_range() (and the kernel's per-node buddy allocators)
+        # assume each node owns one contiguous frame range, i.e. the node
+        # field occupies the top address bits.  Every scheme built by
+        # repro.machine.address.MappingScheme satisfies this; reject
+        # hand-rolled mappings that do not rather than mis-route frames.
+        node_bits = mapping.fields["node"]
+        expected = tuple(
+            range(mapping.total_bits - len(node_bits), mapping.total_bits)
+        )
+        if node_bits != expected:
+            raise ValueError(
+                f"node field bits {node_bits} are not the top address bits "
+                f"{expected}; per-node frame ranges would not be contiguous"
+            )
         self.mapping = mapping
         self.num_frames = mapping.num_frames
         bank, llc = mapping.frame_color_table()

@@ -575,3 +575,159 @@ class AddressMapping:
 def contiguous(lo: int, width: int) -> tuple[int, ...]:
     """Bit positions of a contiguous field: ``lo`` .. ``lo+width-1``."""
     return tuple(range(lo, lo + width))
+
+
+# --------------------------------------------------------------------- schemes
+@dataclass(frozen=True)
+class MappingScheme:
+    """A named DRAM interleaving scheme: a recipe for :class:`AddressMapping`.
+
+    Real controllers differ mainly in *where* the channel/rank/bank bits
+    sit relative to the column bits (gem5 names layouts MSB→LSB, e.g.
+    ``RoCoRaBaCh`` = row | column | rank | bank | channel).  A scheme here
+    is that layout written LSB→MSB as ``layout`` tokens, stacked upward
+    from the page offset:
+
+    * ``"channel"`` / ``"rank"`` / ``"bank"`` — place the field's (remaining)
+      bits contiguously at the current position.  ``"bank:2"`` places only
+      the next two bank bits, allowing split fields (the Opteron's bank
+      bits 15, 16 and 18).
+    * ``"col:N"`` — skip N column bits (they stay row/column address).
+
+    Page coloring needs frame-invariant colors, so every field bit must
+    sit at or above the page offset: layouts whose fields would fall
+    below ``page_bits`` on real parts are *lifted* above the page offset
+    with their LSB→MSB interleave order preserved — the same lift the
+    Opteron preset applies to its channel/rank bits (see
+    :mod:`repro.machine.presets`).  The node field always occupies the
+    top address bits (DRAM base/limit style, node interleaving disabled),
+    which the kernel's per-node frame ranges rely on
+    (:meth:`node_field_on_top`).
+
+    :meth:`build` returns an ordinary :class:`AddressMapping`, so scalar
+    :meth:`AddressMapping.frame_decode` and vectorised
+    :meth:`AddressMapping.decode_batch` work unchanged for every scheme.
+    """
+
+    name: str
+    layout: tuple[str, ...]
+    description: str = ""
+
+    def build(
+        self,
+        *,
+        total_bits: int,
+        node_bits: int,
+        channel_bits: int,
+        rank_bits: int,
+        bank_bits: int,
+        llc_color_bits: int,
+        line_bits: int,
+        page_bits: int = 12,
+    ) -> AddressMapping:
+        """Construct the mapping for one platform geometry.
+
+        Raises:
+            ValueError: if the layout cannot host the requested widths
+                (token for an absent field, unconsumed field bits, or the
+                stack colliding with the top-of-memory node field).
+        """
+        widths = {
+            "channel": channel_bits, "rank": rank_bits, "bank": bank_bits
+        }
+        remaining = dict(widths)
+        positions: dict[str, list[int]] = {
+            "channel": [], "rank": [], "bank": []
+        }
+        bit = page_bits
+        for token in self.layout:
+            name, _, count = token.partition(":")
+            if name == "col":
+                bit += int(count)
+                continue
+            if name not in remaining:
+                raise ValueError(f"scheme {self.name}: unknown token {token!r}")
+            take = int(count) if count else remaining[name]
+            if take > remaining[name]:
+                raise ValueError(
+                    f"scheme {self.name}: {name} has only "
+                    f"{remaining[name]} bits left, token {token!r} takes {take}"
+                )
+            positions[name].extend(range(bit, bit + take))
+            remaining[name] -= take
+            bit += take
+        leftover = {n: w for n, w in remaining.items() if w}
+        if leftover:
+            raise ValueError(
+                f"scheme {self.name}: field bits not placed by layout: {leftover}"
+            )
+        node_lo = total_bits - node_bits
+        if bit > node_lo:
+            raise ValueError(
+                f"scheme {self.name}: fields reach bit {bit - 1} but the "
+                f"node field starts at {node_lo}; increase total_bits"
+            )
+        return AddressMapping(
+            total_bits=total_bits,
+            line_bits=line_bits,
+            page_bits=page_bits,
+            fields={
+                "node": contiguous(node_lo, node_bits),
+                "channel": tuple(positions["channel"]),
+                "rank": tuple(positions["rank"]),
+                "bank": tuple(positions["bank"]),
+            },
+            llc_color_positions=contiguous(page_bits, llc_color_bits),
+            # Row-buffer granularity: one frame per row, as in the presets.
+            row_bits_start=page_bits,
+        )
+
+
+#: Named interleaving schemes (gem5 layout names, MSB→LSB; built LSB→MSB).
+SCHEMES: dict[str, MappingScheme] = {
+    # row | column | rank | bank | channel: channel interleaves finest
+    # (page granularity after lifting), banks right above it — bank and
+    # channel bits overlap the LLC color slice, coupling the two axes.
+    "RoCoRaBaCh": MappingScheme(
+        "RoCoRaBaCh", ("channel", "bank", "rank"),
+        "fine channel interleave; bank/channel bits inside the LLC slice",
+    ),
+    # row | rank | bank | column | channel: a column gap between channel
+    # and bank pushes most bank bits above the LLC slice (coarse 2^15-ish
+    # bank granularity).
+    "RoRaBaCoCh": MappingScheme(
+        "RoRaBaCoCh", ("channel", "col:3", "bank", "rank"),
+        "fine channel interleave, coarse bank interleave above a column gap",
+    ),
+    # row | rank | bank | channel | column: column bits sit lowest, so
+    # even the channel interleaves coarsely (32 KiB granularity here).
+    "RoRaBaChCo": MappingScheme(
+        "RoRaBaChCo", ("col:3", "channel", "bank", "rank"),
+        "coarse channel and bank interleave (column bits lowest)",
+    ),
+    # The paper's Fig. 5 Opteron layout as a scheme: 3 column bits, bank
+    # split around a column bit (15, 16, 18), then channel and rank.
+    # Requires bank_bits == 3 (the split is the part's literal layout).
+    "OpteronFig5": MappingScheme(
+        "OpteronFig5", ("col:3", "bank:2", "col:1", "bank:1", "channel", "rank"),
+        "the Opteron 6128's literal Fig. 5 bit placement",
+    ),
+}
+
+
+def build_mapping(scheme: str | MappingScheme, **geometry) -> AddressMapping:
+    """Build an :class:`AddressMapping` from a scheme name or instance.
+
+    ``geometry`` forwards to :meth:`MappingScheme.build` (total_bits,
+    node_bits, channel_bits, rank_bits, bank_bits, llc_color_bits,
+    line_bits, page_bits).
+    """
+    if isinstance(scheme, str):
+        try:
+            scheme = SCHEMES[scheme]
+        except KeyError:
+            raise ValueError(
+                f"unknown mapping scheme {scheme!r}; "
+                f"known: {sorted(SCHEMES)}"
+            ) from None
+    return scheme.build(**geometry)

@@ -8,14 +8,25 @@ lines shared by all cores, and 32 LLC page colors over physical bits 12-16.
 :func:`tiny_machine` is a miniature with the same structure for fast unit
 tests and property-based tests.
 
-Note on bit placement: our preset places the *node* field in the top
-address bits, i.e. each controller owns a contiguous quarter of physical
+Beyond the paper's part, the module carries a small *platform family*
+(:data:`PLATFORMS`) so every claim can be rerun on other controller
+layouts: :func:`modern_8ch` (8-channel RoCoRaBaCh part),
+:func:`bigbank_4n` (high-bank-count RoRaBaCoCh part) and
+:func:`disagg_2n` (one node's DRAM behind a network hop with a local
+DRAM cache — :class:`repro.dram.remote.RemoteTier`).  Mappings are built
+from named interleaving schemes (:data:`repro.machine.address.SCHEMES`);
+the Opteron's literal Fig. 5 layout is itself the ``OpteronFig5`` scheme.
+
+Note on bit placement: every preset places the *node* field in the top
+address bits, i.e. each controller owns a contiguous range of physical
 memory, which is how the Opteron's DRAM base/limit registers describe
 memory when node interleaving is disabled (the paper's NUMA setting).
+The kernel's per-node frame ranges rely on this (see
+``repro.kernel.frame``).
 
-The bank field uses the paper's literal Fig. 5 bits — **15, 16 and 18** —
-which overlap the LLC color field (bits 12-16).  The overlap is load-
-bearing in two ways, both real:
+The Opteron bank field uses the paper's literal Fig. 5 bits — **15, 16
+and 18** — which overlap the LLC color field (bits 12-16).  The overlap
+is load-bearing in two ways, both real:
 
 * banks interleave at 32 KiB granularity, so ordinary buddy allocations
   spread across banks and enjoy bank-level parallelism (as on the real
@@ -31,14 +42,17 @@ Channel and rank sit above the LLC index (the paper reads them from the
 controller-select / CS-base registers at bits 8 and 7, below the page
 offset — there they would stripe *within* each 4 KiB frame and Eq. (1)'s
 per-page bank color would be ill-defined; we lift them to frame-invariant
-positions, preserving the 2-channel x 2-rank x 8-bank geometry).
+positions, preserving the 2-channel x 2-rank x 8-bank geometry).  The
+other schemes apply the same lift; see
+:class:`repro.machine.address.MappingScheme`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.machine.address import AddressMapping, contiguous
+from repro.dram.remote import RemoteTier
+from repro.machine.address import AddressMapping, build_mapping, contiguous
 from repro.machine.pci import PciConfigSpace, encode_config_space
 from repro.machine.topology import CacheGeometry, MachineTopology
 from repro.util.units import GIB, KIB, MIB
@@ -50,11 +64,16 @@ class MachineSpec:
 
     The PCI config space is generated from the mapping (playing BIOS), and
     the kernel re-derives the mapping from it at boot, as in the paper.
+
+    ``remote`` (optional) marks a subset of nodes as disaggregated: their
+    DRAM is reached over a modeled network hop with a compute-side DRAM
+    cache (see :mod:`repro.dram.remote`).
     """
 
     topology: MachineTopology
     mapping: AddressMapping
     pci: PciConfigSpace
+    remote: RemoteTier | None = None
 
     def __post_init__(self) -> None:
         if self.mapping.num_nodes != self.topology.num_nodes:
@@ -69,6 +88,13 @@ class MachineSpec:
                 "preset mapping must give every frame a single color "
                 "(all color bits at or above the page offset)"
             )
+        if self.remote is not None:
+            bad = [n for n in self.remote.remote_nodes
+                   if not 0 <= n < self.topology.num_nodes]
+            if bad:
+                raise ValueError(f"remote nodes {bad} outside topology")
+            if len(self.remote.remote_nodes) >= self.topology.num_nodes:
+                raise ValueError("at least one node must stay local")
 
     @property
     def name(self) -> str:
@@ -76,10 +102,24 @@ class MachineSpec:
         return self.topology.name
 
 
-def _spec(topology: MachineTopology, mapping: AddressMapping) -> MachineSpec:
+def _spec(
+    topology: MachineTopology,
+    mapping: AddressMapping,
+    remote: RemoteTier | None = None,
+) -> MachineSpec:
     return MachineSpec(
-        topology=topology, mapping=mapping, pci=encode_config_space(mapping)
+        topology=topology, mapping=mapping,
+        pci=encode_config_space(mapping), remote=remote,
     )
+
+
+def _total_bits(memory_bytes: int, preset: str, minimum: int) -> int:
+    total_bits = memory_bytes.bit_length() - 1
+    if 1 << total_bits != memory_bytes:
+        raise ValueError("memory size must be a power of two")
+    if memory_bytes < minimum:
+        raise ValueError(f"{preset} needs at least {minimum // MIB} MiB of memory")
+    return total_bits
 
 
 def opteron_6128(memory_bytes: int = 8 * GIB) -> MachineSpec:
@@ -90,12 +130,7 @@ def opteron_6128(memory_bytes: int = 8 * GIB) -> MachineSpec:
             enough to hold the DRAM field bits (>= 16 MiB).  8 GiB default
             gives 2 MiB of frames per (bank color, LLC color) combination.
     """
-    total_bits = memory_bytes.bit_length() - 1
-    if 1 << total_bits != memory_bytes:
-        raise ValueError("memory size must be a power of two")
-    node_lo = total_bits - 2
-    if node_lo < 24:
-        raise ValueError("opteron_6128 needs at least 64 MiB of memory")
+    total_bits = _total_bits(memory_bytes, "opteron_6128", 64 * MIB)
     topology = MachineTopology(
         num_sockets=2,
         nodes_per_socket=2,
@@ -106,21 +141,19 @@ def opteron_6128(memory_bytes: int = 8 * GIB) -> MachineSpec:
         llc=CacheGeometry(size_bytes=12 * MIB, line_bytes=128, ways=24),
         name="opteron_6128",
     )
-    mapping = AddressMapping(
+    # Fig. 5's bank bits 15/16/18 -> 32 KiB interleave; 32 LLC colors over
+    # bits 12-16; channel/rank lifted above the LLC index; one 4 KiB frame
+    # per DRAM row (row_bits_start == page_bits), so two tasks sharing a
+    # bank but touching different pages thrash the row buffer (Fig. 8).
+    mapping = build_mapping(
+        "OpteronFig5",
         total_bits=total_bits,
+        node_bits=2,  # 4 controllers, contiguous ranges
+        channel_bits=1,  # 2 channels per controller
+        rank_bits=1,  # 2 ranks per channel
+        bank_bits=3,  # 8 banks per rank
+        llc_color_bits=5,  # 32 LLC colors (paper: bits 12-16)
         line_bits=7,  # 128 B lines
-        page_bits=12,  # 4 KiB frames (order-0, as colored by TintMalloc)
-        fields={
-            "node": contiguous(node_lo, 2),  # 4 controllers, contiguous ranges
-            "channel": contiguous(19, 1),  # 2 channels per controller
-            "rank": contiguous(20, 1),  # 2 ranks per channel
-            "bank": (15, 16, 18),  # Fig. 5's bank bits -> 32 KiB interleave
-        },
-        llc_color_positions=contiguous(12, 5),  # 32 LLC colors (paper: bits 12-16)
-        # Row-buffer granularity: all non-field frame bits, i.e. one 4 KiB
-        # frame per row — two tasks sharing a bank but touching different
-        # pages thrash the row buffer, the paper's Fig. 8 effect.
-        row_bits_start=12,
     )
     return _spec(topology, mapping)
 
@@ -136,12 +169,7 @@ def opteron_4s(memory_bytes: int = 2 * GIB) -> MachineSpec:
     count, since a random remote placement crosses sockets ever more
     often.
     """
-    total_bits = memory_bytes.bit_length() - 1
-    if 1 << total_bits != memory_bytes:
-        raise ValueError("memory size must be a power of two")
-    node_lo = total_bits - 3  # 8 nodes
-    if node_lo < 24:
-        raise ValueError("opteron_4s needs at least 128 MiB of memory")
+    total_bits = _total_bits(memory_bytes, "opteron_4s", 128 * MIB)
     topology = MachineTopology(
         num_sockets=4,
         nodes_per_socket=2,
@@ -151,18 +179,15 @@ def opteron_4s(memory_bytes: int = 2 * GIB) -> MachineSpec:
         llc=CacheGeometry(size_bytes=3 * MIB, line_bytes=128, ways=24),
         name="opteron_4s",
     )
-    mapping = AddressMapping(
+    mapping = build_mapping(
+        "OpteronFig5",
         total_bits=total_bits,
+        node_bits=3,  # 8 controllers
+        channel_bits=1,
+        rank_bits=1,
+        bank_bits=3,
+        llc_color_bits=5,
         line_bits=7,
-        page_bits=12,
-        fields={
-            "node": contiguous(node_lo, 3),  # 8 controllers
-            "channel": contiguous(19, 1),
-            "rank": contiguous(20, 1),
-            "bank": (15, 16, 18),
-        },
-        llc_color_positions=contiguous(12, 5),
-        row_bits_start=12,
     )
     return _spec(topology, mapping)
 
@@ -177,12 +202,7 @@ def opteron_6128_scaled(memory_bytes: int = 1 * GIB) -> MachineSpec:
     capacity/contention ratios at a quarter of the trace length; the
     benchmark harness runs on this profile by default (single-core hosts).
     """
-    total_bits = memory_bytes.bit_length() - 1
-    if 1 << total_bits != memory_bytes:
-        raise ValueError("memory size must be a power of two")
-    node_lo = total_bits - 2
-    if node_lo < 24:
-        raise ValueError("opteron_6128_scaled needs at least 64 MiB of memory")
+    total_bits = _total_bits(memory_bytes, "opteron_6128_scaled", 64 * MIB)
     topology = MachineTopology(
         num_sockets=2,
         nodes_per_socket=2,
@@ -192,32 +212,25 @@ def opteron_6128_scaled(memory_bytes: int = 1 * GIB) -> MachineSpec:
         llc=CacheGeometry(size_bytes=3 * MIB, line_bytes=128, ways=24),
         name="opteron_6128_scaled",
     )
-    mapping = AddressMapping(
+    # LLC: 1024 sets -> index bits 7-16; colors still bits 12-16 (each
+    # color now owns 32 sets); same Fig. 5 bank bits as the full preset.
+    mapping = build_mapping(
+        "OpteronFig5",
         total_bits=total_bits,
+        node_bits=2,
+        channel_bits=1,
+        rank_bits=1,
+        bank_bits=3,
+        llc_color_bits=5,
         line_bits=7,
-        page_bits=12,
-        # LLC: 1024 sets -> index bits 7-16; colors still bits 12-16 (each
-        # color now owns 32 sets); same Fig. 5 bank bits as the full preset.
-        fields={
-            "node": contiguous(node_lo, 2),
-            "channel": contiguous(19, 1),
-            "rank": contiguous(20, 1),
-            "bank": (15, 16, 18),
-        },
-        llc_color_positions=contiguous(12, 5),
-        row_bits_start=12,
     )
     return _spec(topology, mapping)
 
 
 def tiny_machine(memory_bytes: int = 64 * MIB) -> MachineSpec:
     """A small 2-node, 4-core machine for tests (same structure, tiny sizes)."""
-    total_bits = memory_bytes.bit_length() - 1
-    if 1 << total_bits != memory_bytes:
-        raise ValueError("memory size must be a power of two")
+    total_bits = _total_bits(memory_bytes, "tiny_machine", 1 * MIB)
     node_lo = total_bits - 1
-    if node_lo < 19:
-        raise ValueError("tiny_machine needs at least 1 MiB of memory")
     # LLC: 512 sets, line 64 B -> index bits 6-14; DRAM fields start at 15.
     topology = MachineTopology(
         num_sockets=1,
@@ -244,3 +257,141 @@ def tiny_machine(memory_bytes: int = 64 * MIB) -> MachineSpec:
         row_bits_start=12,
     )
     return _spec(topology, mapping)
+
+
+def modern_8ch(memory_bytes: int = 2 * GIB) -> MachineSpec:
+    """A modern 8-channel, 2-node server part (RoCoRaBaCh interleave).
+
+    Two sockets, one memory controller each, 8 cores per node (16 cores),
+    64 B lines, a 16 MiB 16-way LLC per the class of recent EPYC/Xeon
+    parts.  Each controller drives 8 channels x 2 ranks x 16 banks (256
+    bank colors per node, 512 total).  The RoCoRaBaCh scheme interleaves
+    channels finest — the channel bits (12-14) and two bank bits (15-16)
+    sit *inside* the 5-bit LLC color slice, so bank/LLC coupling is even
+    denser than the Opteron's: each thread's even mem split pins its
+    channel bits, leaving 4 compatible LLC colors per thread, pairwise
+    disjoint across a node's 8 threads.
+    """
+    total_bits = _total_bits(memory_bytes, "modern_8ch", 64 * MIB)
+    topology = MachineTopology(
+        num_sockets=2,
+        nodes_per_socket=1,
+        cores_per_node=8,
+        l1=CacheGeometry(size_bytes=32 * KIB, line_bytes=64, ways=8),
+        l2=CacheGeometry(size_bytes=512 * KIB, line_bytes=64, ways=8),
+        llc=CacheGeometry(size_bytes=16 * MIB, line_bytes=64, ways=16),
+        name="modern_8ch",
+    )
+    mapping = build_mapping(
+        "RoCoRaBaCh",
+        total_bits=total_bits,
+        node_bits=1,  # 2 nodes
+        channel_bits=3,  # 8 channels -> bits 12-14, page-granular interleave
+        rank_bits=1,  # 2 ranks -> bit 19
+        bank_bits=4,  # 16 banks -> bits 15-18
+        llc_color_bits=5,  # 32 LLC colors, bits 12-16
+        line_bits=6,  # 64 B lines
+    )
+    return _spec(topology, mapping)
+
+
+def bigbank_4n(memory_bytes: int = 2 * GIB) -> MachineSpec:
+    """A 4-node part with deep per-channel banking (RoRaBaCoCh interleave).
+
+    Two sockets x 2 nodes x 4 cores (16 cores, matching the Opteron's
+    shape) but only 2 channels with 32 banks each behind every controller
+    — 128 bank colors per node, 512 total.  The RoRaBaCoCh scheme leaves
+    a 3-bit column gap between the channel bit (12) and the bank field
+    (16-20): banks interleave at 64 KiB, so only *one* bank bit (16)
+    overlaps the LLC color slice and most of the bank field is free of
+    LLC coupling — 8 compatible LLC colors per bank color, reached
+    through the channel bit instead of the bank bits.
+    """
+    total_bits = _total_bits(memory_bytes, "bigbank_4n", 64 * MIB)
+    topology = MachineTopology(
+        num_sockets=2,
+        nodes_per_socket=2,
+        cores_per_node=4,
+        l1=CacheGeometry(size_bytes=32 * KIB, line_bytes=64, ways=8),
+        l2=CacheGeometry(size_bytes=256 * KIB, line_bytes=64, ways=8),
+        llc=CacheGeometry(size_bytes=8 * MIB, line_bytes=64, ways=16),
+        name="bigbank_4n",
+    )
+    mapping = build_mapping(
+        "RoRaBaCoCh",
+        total_bits=total_bits,
+        node_bits=2,  # 4 nodes
+        channel_bits=1,  # 2 channels -> bit 12
+        rank_bits=1,  # 2 ranks -> bit 21
+        bank_bits=5,  # 32 banks -> bits 16-20 (above a 3-bit column gap)
+        llc_color_bits=5,  # 32 LLC colors, bits 12-16
+        line_bits=6,
+    )
+    return _spec(topology, mapping)
+
+
+def disagg_2n(memory_bytes: int = 1 * GIB) -> MachineSpec:
+    """A disaggregated 2-node platform: node 1's DRAM is across the network.
+
+    Socket 0 is an ordinary compute socket with local DRAM (node 0);
+    socket 1 is a compute blade whose memory pool (node 1) lives on a
+    MIND-style memory node behind a ~250 ns fabric hop, fronted by a
+    compute-side DRAM cache (16 MiB — twice the LLC, as the cache only
+    sees LLC-evicted reuse; 8-way, 60 ns hits).  Cores on both
+    sockets run threads, so local-first coloring keeps node-0 threads
+    entirely local while node-1 threads stress the cache + network path —
+    exactly the regime where the paper's locality argument is put under
+    pressure.
+    """
+    total_bits = _total_bits(memory_bytes, "disagg_2n", 64 * MIB)
+    topology = MachineTopology(
+        num_sockets=2,
+        nodes_per_socket=1,
+        cores_per_node=8,
+        l1=CacheGeometry(size_bytes=32 * KIB, line_bytes=64, ways=8),
+        l2=CacheGeometry(size_bytes=256 * KIB, line_bytes=64, ways=8),
+        # Lean compute-blade LLC (2 MiB): disaggregated designs trade
+        # on-die SRAM for the DRAM cache below, and the LLC must be
+        # small enough that real working sets spill to the remote tier.
+        llc=CacheGeometry(size_bytes=2 * MIB, line_bytes=64, ways=16),
+        name="disagg_2n",
+    )
+    mapping = build_mapping(
+        "RoCoRaBaCh",
+        total_bits=total_bits,
+        node_bits=1,  # 2 nodes; node 1 is the far pool
+        channel_bits=2,  # 4 channels -> bits 12-13
+        rank_bits=1,  # 2 ranks -> bit 18
+        bank_bits=4,  # 16 banks -> bits 14-17
+        llc_color_bits=5,  # 32 LLC colors, bits 12-16
+        line_bits=6,
+    )
+    # The DRAM cache must out-size the LLC to be useful: it only sees
+    # lines the LLC already missed, so a cache smaller than the LLC
+    # (the RemoteTier default) would never hit behind an 8 MiB LLC.
+    return _spec(topology, mapping, remote=RemoteTier(
+        remote_nodes=(1,), cache_lines=262144, cache_ways=8,
+    ))
+
+
+#: The platform family: preset name -> factory(memory_bytes=...).
+PLATFORMS = {
+    "opteron_6128": opteron_6128,
+    "opteron_6128_scaled": opteron_6128_scaled,
+    "opteron_4s": opteron_4s,
+    "tiny": tiny_machine,
+    "modern_8ch": modern_8ch,
+    "bigbank_4n": bigbank_4n,
+    "disagg_2n": disagg_2n,
+}
+
+
+def platform(name: str, memory_bytes: int | None = None) -> MachineSpec:
+    """Instantiate a preset from :data:`PLATFORMS` by name."""
+    try:
+        factory = PLATFORMS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown platform {name!r}; known: {sorted(PLATFORMS)}"
+        ) from None
+    return factory() if memory_bytes is None else factory(memory_bytes)

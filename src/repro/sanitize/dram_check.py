@@ -6,9 +6,11 @@ occupancy model only ever books time forward); a bank may only hold an
 open row after serving at least one request; and the transaction flow
 must be conserved — every demand access and prefetch fill is served by
 exactly one bank (``sum(bank.total_accesses) == accesses +
-prefetch_fills``, the occupancy model's enqueued == serviced + pending),
-with the aggregate stats decomposing exactly by row outcome, locality,
-node, and queue-wait component.
+prefetch_fills - remote_cache_hits``, the occupancy model's enqueued ==
+serviced + pending; a compute-side DRAM-cache hit on a disaggregated
+node short-circuits before any bank), with the aggregate stats
+decomposing exactly by row outcome, locality, node, and queue-wait
+component.
 """
 
 from __future__ import annotations
@@ -22,6 +24,7 @@ from repro.sanitize.base import Checker
 _MONOTONE_FIELDS = (
     "accesses", "row_hits", "row_misses", "row_conflicts",
     "local_accesses", "remote_accesses", "writebacks", "prefetch_fills",
+    "remote_cache_hits", "remote_cache_misses",
     "total_latency", "total_queue_wait",
     "wait_link", "wait_ctrl", "wait_chan", "wait_bank",
 )
@@ -58,6 +61,20 @@ class DramChecker(Checker):
             self.fail(
                 "per-node-conservation",
                 f"per-node counts sum to {per_node} but accesses={s.accesses}",
+            )
+        if s.remote_cache_hits > s.local_accesses:
+            self.fail(
+                "remote-cache-hit-conservation",
+                f"remote_cache_hits={s.remote_cache_hits} exceeds "
+                f"local_accesses={s.local_accesses} (hits are flat local "
+                "serves)",
+            )
+        if s.remote_cache_misses > s.remote_accesses:
+            self.fail(
+                "remote-cache-miss-conservation",
+                f"remote_cache_misses={s.remote_cache_misses} exceeds "
+                f"remote_accesses={s.remote_accesses} (every miss crosses "
+                "the fabric)",
             )
         waits = s.wait_link + s.wait_ctrl + s.wait_chan + s.wait_bank
         if abs(waits - s.total_queue_wait) > 1e-6 * max(1.0, s.total_queue_wait):
@@ -124,12 +141,15 @@ class DramChecker(Checker):
                         bank=color,
                     )
             served += bank.total_accesses
-        enqueued = dram.stats.accesses + dram.stats.prefetch_fills
+        enqueued = (
+            dram.stats.accesses + dram.stats.prefetch_fills
+            - dram.stats.remote_cache_hits
+        )
         if served != enqueued:
             self.fail(
                 "bank-queue-conservation",
                 f"banks served {served} requests but {enqueued} were enqueued "
-                "(demand + prefetch)",
+                "(demand + prefetch - remote-cache hits)",
             )
         for node, busy in enumerate(dram._ctrl_busy):
             if not math.isfinite(busy) or busy < 0.0:
@@ -142,4 +162,10 @@ class DramChecker(Checker):
                 self.fail(
                     "chan-busy-illegal",
                     f"channel {chan}: busy={busy}", chan=chan,
+                )
+        for node, busy in dram._net_busy.items():
+            if not math.isfinite(busy) or busy < 0.0:
+                self.fail(
+                    "net-busy-illegal",
+                    f"remote link {node}: busy={busy}", node=node,
                 )

@@ -1,7 +1,9 @@
 """Randomized fuzzing of the whole simulator with all checkers armed.
 
 Each :class:`FuzzCase` is a seed-derived miniature experiment: a small
-machine, a pinned colored team, and a few rounds of random heap churn
+machine drawn from :data:`FUZZ_PRESETS` (the Opteron-shaped tiny machine
+plus scheme-built variants, including a disaggregated one with a remote
+DRAM tier), a pinned colored team, and a few rounds of random heap churn
 (malloc / touch / free) interleaved with random-access programs replayed
 through the engine.  Every round runs with a
 :class:`~repro.sanitize.base.SanitizerObserver` armed at the chosen
@@ -27,8 +29,12 @@ import numpy as np
 from repro.alloc.policies import Policy
 from repro.core.session import ColoredTeam
 from repro.core.tintmalloc import TintMalloc
+from repro.dram.remote import RemoteTier
 from repro.kernel.kernel import Kernel, OutOfColoredMemory, OutOfMemory
-from repro.machine.presets import tiny_machine
+from repro.machine.address import build_mapping
+from repro.machine.pci import encode_config_space
+from repro.machine.presets import MachineSpec, tiny_machine
+from repro.machine.topology import CacheGeometry, MachineTopology
 from repro.sanitize.base import SanitizerObserver, SanitizeViolation
 from repro.sim.barrier import Program, Section
 from repro.sim.engine import Engine, MemorySystem
@@ -41,6 +47,60 @@ FUZZ_POLICIES = ("buddy", "llc", "mem", "mem+llc")
 
 #: Access-pattern shapes a trace can take.
 PATTERNS = ("sequential", "strided", "random")
+
+
+def _tiny_variant(
+    scheme: str,
+    name: str,
+    memory_bytes: int,
+    remote: RemoteTier | None = None,
+) -> MachineSpec:
+    """tiny_machine's shape (2 nodes, 4 cores, 64 B lines) rebuilt under a
+    named interleaving scheme, so the fuzzer churns non-Opteron address
+    decoders (and optionally the remote DRAM-cache path) too."""
+    total_bits = memory_bytes.bit_length() - 1
+    topology = MachineTopology(
+        num_sockets=1,
+        nodes_per_socket=2,
+        cores_per_node=2,
+        l1=CacheGeometry(size_bytes=8 * KIB, line_bytes=64, ways=2),
+        l2=CacheGeometry(size_bytes=32 * KIB, line_bytes=64, ways=4),
+        llc=CacheGeometry(size_bytes=256 * KIB, line_bytes=64, ways=8),
+        name=name,
+    )
+    mapping = build_mapping(
+        scheme,
+        total_bits=total_bits,
+        node_bits=1,
+        channel_bits=1,
+        rank_bits=1,
+        bank_bits=2,
+        llc_color_bits=2,
+        line_bits=6,
+    )
+    return MachineSpec(
+        topology=topology, mapping=mapping,
+        pci=encode_config_space(mapping), remote=remote,
+    )
+
+
+#: Machines a fuzz case can run on: name -> factory(memory_bytes).  All
+#: use 64 B lines (``_trace_for`` depends on that) and the same tiny
+#: 2-node topology, so every case shape fits every preset.
+FUZZ_PRESETS = {
+    "tiny": tiny_machine,
+    "tiny_rocobach":
+        lambda m: _tiny_variant("RoCoRaBaCh", "tiny_rocobach", m),
+    "tiny_robacoch":
+        lambda m: _tiny_variant("RoRaBaCoCh", "tiny_robacoch", m),
+    # DRAM cache 512 KiB: twice the tiny LLC, so remote reuse can hit.
+    "tiny_disagg": lambda m: _tiny_variant(
+        "RoCoRaBaCh", "tiny_disagg", m,
+        remote=RemoteTier(
+            remote_nodes=(1,), cache_lines=8192, cache_ways=8,
+        ),
+    ),
+}
 
 
 @dataclass(frozen=True)
@@ -58,6 +118,7 @@ class FuzzCase:
     write_fraction: float = 0.5
     free_fraction: float = 0.5
     with_serial: bool = True
+    preset: str = "tiny"
 
     @classmethod
     def generate(cls, seed: int) -> "FuzzCase":
@@ -75,6 +136,7 @@ class FuzzCase:
             write_fraction=float(rng.choice([0.0, 0.3, 0.5, 1.0])),
             free_fraction=float(rng.choice([0.0, 0.5, 1.0])),
             with_serial=bool(rng.integers(0, 2)),
+            preset=str(rng.choice(sorted(FUZZ_PRESETS))),
         )
 
 
@@ -82,7 +144,7 @@ def _trace_for(
     rng: RngStream, base: int, length: int, case: FuzzCase, label: str
 ) -> Trace:
     """Random accesses over ``[base, base+length)`` in one of the shapes."""
-    line = 64  # tiny_machine line size; sub-line offsets are irrelevant
+    line = 64  # every FUZZ_PRESETS line size; sub-line offsets are irrelevant
     nlines = max(1, length // line)
     n = max(1, case.accesses_per_thread)
     pattern = str(rng.choice(list(PATTERNS)))
@@ -108,7 +170,7 @@ def run_case(
     """
     observer = SanitizerObserver.for_level(level, check_every=check_every)
     sanitizer = observer.sanitizer
-    machine = tiny_machine(case.memory_mib * MIB)
+    machine = FUZZ_PRESETS[case.preset](case.memory_mib * MIB)
     kernel = Kernel(machine, aged=True, age_seed=case.seed, observer=observer)
     tm = TintMalloc(kernel=kernel)
     cores = [i % machine.topology.num_cores for i in range(case.nthreads)]
@@ -196,6 +258,8 @@ def shrink_case(
             yield dataclasses.replace(c, region_kib=c.region_kib // 2)
         if c.with_serial:
             yield dataclasses.replace(c, with_serial=False)
+        if c.preset != "tiny":
+            yield dataclasses.replace(c, preset="tiny")
 
     steps = 0
     improved = True

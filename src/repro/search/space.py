@@ -35,6 +35,7 @@ from dataclasses import dataclass
 from repro.alloc.custom import CustomPolicy
 from repro.alloc.planner import (
     ColorAssignment,
+    _llc_pools,
     _split_evenly,
     _split_strided,
     plan_colors,
@@ -150,16 +151,23 @@ class SearchSpace:
         config: experiment configuration name (thread pinning).
         profile: run profile ("mini"/"scaled"/"full") — fixes the
             machine preset the genomes are validated against.
+        machine: explicit preset overriding the profile's machine, so
+            the genome space closes over any platform (the matrix's
+            "tuned" column searches non-Opteron presets this way).
+        cores: explicit thread pinning overriding the named config —
+            required when ``machine``'s topology does not carry the
+            paper's core numbering.
     """
 
     def __init__(self, config: str = "16_threads_4_nodes",
-                 profile: str = "scaled") -> None:
+                 profile: str = "scaled",
+                 machine=None, cores: list[int] | None = None) -> None:
         self.config = config
         self.profile = profile
-        self.machine = profile_machine(profile)
+        self.machine = machine if machine is not None else profile_machine(profile)
         self.mapping = self.machine.mapping
         self.topology = self.machine.topology
-        self.cores = list(CONFIGS[config].cores)
+        self.cores = list(cores) if cores is not None else list(CONFIGS[config].cores)
         self.nthreads = len(self.cores)
         #: each thread's local node and that node's bank colors.
         self.node_of = [self.topology.node_of_core(c) for c in self.cores]
@@ -209,7 +217,6 @@ class SearchSpace:
         ``aged`` and ``hugepages`` flags: 36 recipe genomes, deduplicated
         by digest (labels keep the first recipe that produced a genome).
         """
-        group_order = list(dict.fromkeys(self.node_of))
         peers_by_node: dict[int, list[int]] = {}
         for i, node in enumerate(self.node_of):
             peers_by_node.setdefault(node, []).append(i)
@@ -224,29 +231,54 @@ class SearchSpace:
                 )
             return tuple(self.local_banks[i])  # "node"
 
-        def llc_gene(mode: str, i: int) -> tuple[int, ...]:
+        def llc_genes(
+            mode: str, mems: tuple[tuple[int, ...], ...]
+        ) -> tuple[tuple[int, ...], ...]:
+            # Splits happen inside each thread's *compatible* LLC pool
+            # (all colors when its mem gene is empty) — a naive stride
+            # over all_llc would produce zero-frame (bank, LLC) combos
+            # on presets whose channel/bank bits sit inside the LLC
+            # color slice (see plan_colors, same pool logic).
             if mode == "none":
-                return ()
+                return tuple(() for _ in range(self.nthreads))
+            pools = _llc_pools(list(mems), self.mapping)
             if mode == "private":
-                return _split_strided(list(self.all_llc), self.nthreads, i)
-            gi = group_order.index(self.node_of[i])  # "group"
-            return _split_strided(list(self.all_llc), len(group_order), gi)
+                owners_of: dict[tuple[int, ...], list[int]] = {}
+                for i, pool in enumerate(pools):
+                    owners_of.setdefault(pool, []).append(i)
+                return tuple(
+                    _split_strided(
+                        list(pools[i]), len(owners_of[pools[i]]),
+                        owners_of[pools[i]].index(i),
+                    )
+                    for i in range(self.nthreads)
+                )
+            groups_of: dict[tuple[int, ...], list[int]] = {}  # "group"
+            for i, pool in enumerate(pools):
+                users = groups_of.setdefault(pool, [])
+                if self.node_of[i] not in users:
+                    users.append(self.node_of[i])
+            return tuple(
+                _split_strided(
+                    list(pools[i]), len(groups_of[pools[i]]),
+                    groups_of[pools[i]].index(self.node_of[i]),
+                )
+                for i in range(self.nthreads)
+            )
 
         out: list[tuple[str, Genome]] = []
         seen: set[str] = set()
         for mem_mode in ("none", "private", "node"):
+            mems = tuple(
+                mem_gene(mem_mode, i) for i in range(self.nthreads)
+            )
             for llc_mode in ("none", "private", "group"):
+                llcs = llc_genes(llc_mode, mems)
                 for aged in (False, True):
                     for huge in (False, True):
                         genome = Genome(
-                            mem=tuple(
-                                mem_gene(mem_mode, i)
-                                for i in range(self.nthreads)
-                            ),
-                            llc=tuple(
-                                llc_gene(llc_mode, i)
-                                for i in range(self.nthreads)
-                            ),
+                            mem=mems,
+                            llc=llcs,
                             aged=aged,
                             hugepages=huge,
                         )

@@ -49,7 +49,8 @@ class MemorySystem:
     ) -> "MemorySystem":
         """Build the cache hierarchy + DRAM system for *machine*."""
         dram = DramSystem(
-            machine.mapping, machine.topology, dram_timing, observer=observer
+            machine.mapping, machine.topology, dram_timing, observer=observer,
+            remote=machine.remote,
         )
         hierarchy = CacheHierarchy(
             machine.topology, dram, cache_timing, prefetch=prefetch,
@@ -247,7 +248,14 @@ class Engine:
         goes.
         """
         mreg = obs_metrics.active()
-        batchable = self.memory.hierarchy.prefetchers is None
+        # A disaggregated tier makes latency depend on DRAM-cache state,
+        # which the stateless batched precompute cannot model — those
+        # machines replay through the scalar loop (still bit-identical
+        # to the reference path: both call the same dram.access).
+        batchable = (
+            self.memory.hierarchy.prefetchers is None
+            and not self.memory.dram._remote_caches
+        )
         if mreg is None:
             plan = self._batch_plan(section) if batchable else None
             if plan is not None:
@@ -295,6 +303,8 @@ class Engine:
         line_bits = hierarchy._line_bits
         row_shift = dram._row_shift
         if row_shift < line_bits:
+            return None
+        if dram._remote_caches:
             return None
         page_line_shift = page_bits - line_bits
         row_line_shift = row_shift - line_bits

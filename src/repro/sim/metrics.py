@@ -21,7 +21,9 @@ from repro.dram.system import DramStats
 #: deserializing them wrongly.
 #: v2: JobSpec.policy may be a structured policy dict (CustomPolicy
 #: payload) in addition to the original named-policy strings.
-SCHEMA_VERSION = 2
+#: v3: DramStats grew remote_cache_hits / remote_cache_misses (the
+#: disaggregated-tier counters), changing every metrics snapshot.
+SCHEMA_VERSION = 3
 
 
 @dataclass(slots=True)

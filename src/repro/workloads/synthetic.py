@@ -41,6 +41,32 @@ class SyntheticSpec:
     per_thread_bytes: int = 4 * MIB
     think_ns: float = 55.0
 
+    @classmethod
+    def for_machine(cls, machine, scale: float = 1.0) -> "SyntheticSpec":
+        """Footprint derived from the preset's topology.
+
+        The 4 MiB default was sized for the Opteron's 4-node machines;
+        per-thread footprint scales with the node count so the aggregate
+        pressure *per controller* stays the one the benchmark was
+        calibrated for, instead of silently assuming 4 nodes (an
+        8-node part would otherwise see half the intended per-node
+        load, a 2-node part double).  On any 4-node preset this is
+        exactly ``per_thread_bytes * scale``, floored at 64 KiB.
+
+        Args:
+            machine: a :class:`~repro.machine.presets.MachineSpec` (or
+                anything with a ``topology.num_nodes``).
+            scale: profile workload scale factor.
+        """
+        base = cls()
+        nodes = machine.topology.num_nodes
+        return cls(
+            per_thread_bytes=max(
+                64 * 1024, int(base.per_thread_bytes * scale * nodes / 4)
+            ),
+            think_ns=base.think_ns,
+        )
+
 
 def alternating_stride_lines(nlines: int) -> np.ndarray:
     """Line-index sequence M, M+1, M-1, M+2, M-2, ... over ``nlines``.

@@ -32,8 +32,11 @@ from repro.experiments.runner import (
     profile_machine,
     profile_scale,
 )
+from repro.experiments.matrix import headline_config
+from repro.machine.presets import platform
 from repro.sanitize.diff import metrics_snapshot
 from repro.util.rng import RngStream
+from repro.util.units import MIB
 from repro.workloads.base import build_spmd_program
 from repro.workloads.registry import get_workload
 from repro.workloads.synthetic import SyntheticSpec, build_synthetic_program
@@ -42,6 +45,10 @@ GOLDEN_PATH = Path(__file__).parent / "golden" / "metrics.json"
 CONFIG = "16_threads_4_nodes"
 PROFILE = "mini"
 
+#: The new platform-family presets pinned alongside the Opteron runs
+#: (each at mini memory/scale, headline all-cores config).
+GOLDEN_PLATFORMS = ("modern_8ch", "bigbank_4n", "disagg_2n")
+
 
 def _run_fig11(bench: str, policy: Policy):
     team, engine = _fresh_environment(
@@ -49,6 +56,15 @@ def _run_fig11(bench: str, policy: Policy):
     )
     spec = get_workload(bench).scaled(profile_scale(PROFILE))
     program = build_spmd_program(spec, team, RngStream(0, bench, CONFIG))
+    return engine.run(program)
+
+
+def _run_platform(preset: str, bench: str, policy: Policy):
+    machine = platform(preset, 256 * MIB)
+    config = headline_config(machine)
+    team, engine = _fresh_environment(config, policy, machine, age_seed=0)
+    spec = get_workload(bench).scaled(profile_scale(PROFILE))
+    program = build_spmd_program(spec, team, RngStream(0, bench, config.name))
     return engine.run(program)
 
 
@@ -71,6 +87,11 @@ GOLDEN_RUNS = {
     "fig11_blackscholes_mem_llc":
         lambda: _run_fig11("blackscholes", Policy.MEM_LLC),
 }
+for _preset in GOLDEN_PLATFORMS:
+    for _policy in (Policy.BUDDY, Policy.MEM_LLC):
+        GOLDEN_RUNS[f"platform_{_preset}_lbm_{_policy.name.lower()}"] = (
+            lambda p=_preset, pol=_policy: _run_platform(p, "lbm", pol)
+        )
 
 
 def _canonical(tree) -> str:

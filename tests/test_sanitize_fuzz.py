@@ -54,6 +54,24 @@ class TestFuzzCase:
         run_case(case)
         run_case(case)
 
+    def test_generator_draws_every_preset_family(self):
+        drawn = {FuzzCase.generate(seed).preset for seed in range(40)}
+        assert drawn <= set(fuzz_mod.FUZZ_PRESETS)
+        assert len(drawn) >= 2  # not stuck on one machine
+
+    @pytest.mark.parametrize("preset", sorted(fuzz_mod.FUZZ_PRESETS))
+    def test_run_case_clean_on_every_preset(self, preset):
+        case = dataclasses.replace(
+            FuzzCase(seed=31, nthreads=2, rounds=1,
+                     accesses_per_thread=200), preset=preset,
+        )
+        run_case(case, level="full", check_every=32)
+
+    def test_disagg_preset_exercises_the_remote_tier(self):
+        machine = fuzz_mod.FUZZ_PRESETS["tiny_disagg"](8 * 1024 * 1024)
+        assert machine.remote is not None
+        assert machine.remote.remote_nodes == (1,)
+
 
 class TestShrinking:
     def test_shrinks_towards_minimum(self):
@@ -72,6 +90,19 @@ class TestShrinking:
         assert shrunk.regions_per_thread == 1
         assert shrunk.region_kib == 4
         assert not shrunk.with_serial
+
+    def test_shrink_reduces_non_opteron_preset_to_tiny(self):
+        # A violation that reproduces anywhere shrinks back to "tiny".
+        case = FuzzCase(seed=3, preset="tiny_robacoch")
+        shrunk = shrink_case(case, lambda c: True)
+        assert shrunk.preset == "tiny"
+
+    def test_shrink_keeps_preset_the_violation_needs(self):
+        # A remote-tier-only violation must keep its disaggregated preset.
+        case = FuzzCase(seed=3, nthreads=4, rounds=3, preset="tiny_disagg")
+        shrunk = shrink_case(case, lambda c: c.preset == "tiny_disagg")
+        assert shrunk.preset == "tiny_disagg"
+        assert shrunk.rounds == 1 and shrunk.nthreads == 1
 
     def test_shrink_keeps_original_when_nothing_smaller_fails(self):
         case = FuzzCase(seed=1, nthreads=1, rounds=1, regions_per_thread=1,

@@ -95,6 +95,69 @@ def test_traced_path_matches_reference():
     assert traced == ref
 
 
+# ----------------------------------------------------------- platform grid
+PLATFORM_GRID = (
+    "opteron_6128_scaled", "opteron_4s", "modern_8ch", "bigbank_4n",
+    "disagg_2n",
+)
+
+
+def run_platform(preset: str, policy: Policy, *, fast: bool,
+                 traced: bool = False):
+    from repro.experiments.configs import configs_for
+    from repro.machine.presets import platform
+    from repro.util.units import MIB
+
+    machine = platform(preset, 256 * MIB)
+    config = next(iter(configs_for(machine.topology).values()))
+    observer = Observer() if traced else None
+    kwargs = {"observer": observer} if observer is not None else {}
+    team, engine = _fresh_environment(
+        config, policy, machine, age_seed=0, **kwargs
+    )
+    engine.fast_path = fast
+    spec = get_workload("lbm").scaled(profile_scale(PROFILE))
+    program = build_spmd_program(spec, team, RngStream(0, "lbm", config.name))
+    return snapshot(engine.run(program))
+
+
+@pytest.mark.parametrize("preset", PLATFORM_GRID)
+@pytest.mark.parametrize("policy", [Policy.BUDDY, Policy.MEM_LLC])
+def test_platform_fast_equals_reference(preset, policy):
+    """Bit identity holds on every preset of the platform family."""
+    fast = run_platform(preset, policy, fast=True)
+    ref = run_platform(preset, policy, fast=False)
+    assert fast == ref
+
+
+@pytest.mark.parametrize("preset", ["modern_8ch", "disagg_2n"])
+def test_platform_traced_matches_reference(preset):
+    """The traced path agrees with the reference loop off-Opteron too."""
+    ref = run_platform(preset, Policy.MEM_LLC, fast=False)
+    traced = run_platform(preset, Policy.MEM_LLC, fast=True, traced=True)
+    assert traced == ref
+
+
+def test_disagg_disables_batched_plan():
+    """A disaggregated preset must fall back to the scalar replay loop —
+    the batched precompute cannot model DRAM-cache state."""
+    from repro.experiments.configs import configs_for
+    from repro.machine.presets import platform
+    from repro.util.units import MIB
+
+    machine = platform("disagg_2n", 256 * MIB)
+    config = next(iter(configs_for(machine.topology).values()))
+    team, engine = _fresh_environment(
+        config, Policy.BUDDY, machine, age_seed=0
+    )
+    spec = get_workload("lbm").scaled(profile_scale(PROFILE))
+    program = build_spmd_program(
+        spec, team, RngStream(0, "lbm", config.name)
+    )
+    section = next(s for s in program.sections if s.kind == "parallel")
+    assert engine._batch_plan(section) is None
+
+
 def test_fast_path_flag_dispatch():
     """fast_path=False must actually select the reference loop."""
     team, engine = _fresh_environment(

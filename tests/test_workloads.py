@@ -205,3 +205,44 @@ class TestSynthetic:
         trace = p.sections[0].traces[0]
         assert trace.writes.all()
         assert len(trace) == 64 * KIB // 64
+
+
+class TestSyntheticForMachine:
+    """The 4-node calibration must rescale, not be assumed (regression:
+    the spec once hardcoded the Opteron's node count)."""
+
+    def test_identity_on_four_node_presets(self):
+        from repro.machine.presets import opteron_6128_scaled
+
+        base = SyntheticSpec()
+        spec = SyntheticSpec.for_machine(opteron_6128_scaled())
+        assert spec.per_thread_bytes == base.per_thread_bytes
+        assert spec.think_ns == base.think_ns
+
+    def test_two_node_preset_halves_the_footprint(self):
+        from repro.machine.presets import modern_8ch, tiny_machine
+
+        base = SyntheticSpec()
+        for machine in (modern_8ch(), tiny_machine()):
+            assert machine.topology.num_nodes == 2
+            spec = SyntheticSpec.for_machine(machine)
+            assert spec.per_thread_bytes == base.per_thread_bytes // 2
+
+    def test_eight_node_preset_doubles_the_footprint(self):
+        from repro.machine.presets import opteron_4s
+
+        machine = opteron_4s()
+        assert machine.topology.num_nodes == 8
+        spec = SyntheticSpec.for_machine(machine)
+        assert spec.per_thread_bytes == SyntheticSpec().per_thread_bytes * 2
+
+    def test_scale_composes_with_node_count_and_floors(self):
+        from repro.machine.presets import modern_8ch
+
+        spec = SyntheticSpec.for_machine(modern_8ch(), scale=0.05)
+        base = SyntheticSpec()
+        assert spec.per_thread_bytes == max(
+            64 * KIB, int(base.per_thread_bytes * 0.05 * 2 / 4)
+        )
+        tiny = SyntheticSpec.for_machine(modern_8ch(), scale=1e-6)
+        assert tiny.per_thread_bytes == 64 * KIB
